@@ -1,0 +1,80 @@
+// Command experiment regenerates any table or figure of the paper's
+// evaluation section:
+//
+//	experiment -id table1     # Table I: LeNet-5 accuracy vs σ
+//	experiment -id table3     # Table III: average detection rates
+//	experiment -id fig4       # Fig. 4: detection rate vs σ (SDC-T/SDC-A)
+//	experiment -id all        # everything
+//
+// Pass -full (or set REPRO_FULL=1) for the paper-scale fault-model counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"reramtest/internal/experiments"
+)
+
+type renderer interface{ Render() string }
+
+func main() {
+	id := flag.String("id", "all", "experiment id: table1..table4, fig3..fig8, ablation-{alpha,pool,adc,refsigma}, all, or ablations")
+	full := flag.Bool("full", false, "use the paper-scale configuration (100 fault models per setting)")
+	verbose := flag.Bool("v", false, "log progress to stderr")
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *full {
+		scale = experiments.FullScale()
+	}
+	var logw io.Writer = io.Discard
+	if *verbose {
+		logw = os.Stderr
+	}
+	env, err := experiments.NewEnv(scale, logw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiment:", err)
+		os.Exit(1)
+	}
+
+	runners := map[string]func() renderer{
+		"table1": func() renderer { return env.Table1() },
+		"table2": func() renderer { return env.Table2() },
+		"table3": func() renderer { return env.Table3() },
+		"table4": func() renderer { return env.Table4() },
+		"fig3":   func() renderer { return env.Fig3() },
+		"fig4":   func() renderer { return env.Fig4() },
+		"fig5":   func() renderer { return env.Fig5() },
+		"fig6":   func() renderer { return env.Fig6() },
+		"fig7":   func() renderer { return env.Fig7() },
+		"fig8":   func() renderer { return env.Fig8() },
+		// ablations beyond the paper's published evaluation
+		"ablation-alpha":    func() renderer { return env.AblationOTPAlpha() },
+		"ablation-pool":     func() renderer { return env.AblationCTPPool() },
+		"ablation-adc":      func() renderer { return env.AblationADCBits() },
+		"ablation-refsigma": func() renderer { return env.AblationOTPRefSigma() },
+	}
+	order := []string{"table1", "table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+	ablations := []string{"ablation-alpha", "ablation-pool", "ablation-adc", "ablation-refsigma"}
+
+	ids := []string{strings.ToLower(*id)}
+	switch ids[0] {
+	case "all":
+		ids = order
+	case "ablations":
+		ids = ablations
+	}
+	for _, one := range ids {
+		run, ok := runners[one]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiment: unknown id %q (want table1..table4, fig3..fig8, ablation-*, all, ablations)\n", one)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s ===\n", strings.ToUpper(one))
+		fmt.Println(run().Render())
+	}
+}

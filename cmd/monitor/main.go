@@ -1,0 +1,95 @@
+// Command monitor demonstrates the end-to-end deployment the paper targets:
+// a trained model is programmed onto simulated ReRAM crossbars, the
+// accelerator ages in the field (drift + soft errors + late-life stuck-at
+// faults), and a concurrent-test monitor tracks its health, estimates
+// accuracy from the Fig.-8 calibration curve, and recommends repairs. When
+// the monitor asks for reprogramming the demo performs it and shows the
+// recovery.
+//
+// The monitor is armed with C-TP patterns: Table III shows they have the
+// highest detection rate, and their peaked golden confidences respond to
+// uniform logit shrinkage (the signature of pure resistance drift, where
+// every weight decays multiplicatively) — a fault class that O-TP's
+// uniform-golden SDC-A criterion is structurally blind to. O-TP remains the
+// better accuracy estimator; this demo trades that for drift coverage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reramtest/internal/experiments"
+	"reramtest/internal/monitor"
+	"reramtest/internal/nn"
+	"reramtest/internal/reram"
+	"reramtest/internal/tensor"
+)
+
+func main() {
+	hoursPerStep := flag.Float64("step", 200, "simulated hours between checks")
+	steps := flag.Int("steps", 8, "number of monitoring rounds")
+	analog := flag.Bool("analog", false, "run checks through the full DAC/ADC analog path (slower)")
+	flag.Parse()
+
+	env, err := experiments.NewEnv(experiments.DefaultScale(), os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "monitor:", err)
+		os.Exit(1)
+	}
+	net := env.LeNet
+	patterns := env.PatternsDefault("lenet5", "ctp")
+
+	// calibration curve: confidence distance → accuracy (Fig. 8 data)
+	fig8 := env.Fig8()
+	dist, acc := fig8.CalibrationCurve("ctp")
+	calib := make([]monitor.CalibPoint, len(dist))
+	for i := range dist {
+		calib[i] = monitor.CalibPoint{Distance: dist[i], Accuracy: acc[i]}
+	}
+
+	cfg := reram.DefaultConfig()
+	cfg.Device.ProgramSigma = 0.05
+	cfg.Device.DriftRate = 0.0003
+	cfg.Device.DriftJitter = 0.004
+	cfg.Device.SoftErrorRate = 2e-7
+	accel := reram.NewAccelerator(net, cfg, 42)
+	fmt.Printf("accelerator: %d crossbar tiles of %dx%d, DAC=%d-bit ADC=%d-bit\n",
+		accel.TileCount(), cfg.TileRows, cfg.TileCols, cfg.DACBits, cfg.ADCBits)
+
+	mon := monitor.New(net, patterns, calib, monitor.DefaultConfig())
+	fmt.Printf("monitor armed with %d C-TP patterns\n\n", mon.PatternCount())
+
+	infer := func() monitor.Infer {
+		if *analog {
+			return func(x *tensor.Tensor) *tensor.Tensor {
+				return nn.Softmax(accel.Infer(x))
+			}
+		}
+		return func(x *tensor.Tensor) *tensor.Tensor {
+			return nn.Softmax(accel.ReadoutNetwork().Forward(x))
+		}
+	}()
+
+	eval := env.DigitsTest.Head(300)
+	for s := 0; s < *steps; s++ {
+		rep := mon.Check(infer)
+		trueAcc := accel.ReadoutNetwork().Accuracy(eval.X, eval.Y, 64)
+		fmt.Printf("t=%6.0fh %s | true accuracy %.1f%%\n", accel.Hours(), rep, 100*trueAcc)
+
+		if rep.Status >= monitor.Impaired {
+			fmt.Printf("         → executing repair: reprogramming all crossbars\n")
+			accel.Reprogram()
+			rep = mon.Check(infer)
+			fmt.Printf("         after repair: %s\n", rep)
+		}
+		// age the device; inject a burst of stuck-at faults late in life
+		accel.AdvanceTime(*hoursPerStep)
+		if s == *steps-3 {
+			fmt.Println("         (injecting endurance stuck-at faults: 0.2% SA0, 0.1% SA1)")
+			accel.InjectStuckAt(0.002, 0.001)
+		}
+	}
+	slope, summary := mon.Trend()
+	fmt.Printf("\ndistance trend: slope=%.5f per round, %s\n", slope, summary)
+}

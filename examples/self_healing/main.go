@@ -1,0 +1,117 @@
+// Self-healing: the complete closed loop the paper motivates — a simulated
+// ReRAM accelerator degrades in the field, the concurrent-test monitor
+// classifies the damage, the repair planner picks the cheapest adequate
+// mechanism, and the repair executes:
+//
+//	drift          → detected as DEGRADED  → crossbar reprogramming
+//	stuck-at burst → detected as IMPAIRED  → stuck-cell diagnosis +
+//	                                         fault-aware retraining
+//
+// After each repair the loop verifies recovery on real data.
+//
+//	go run ./examples/self_healing
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"reramtest/internal/experiments"
+	"reramtest/internal/monitor"
+	"reramtest/internal/nn"
+	"reramtest/internal/repair"
+	"reramtest/internal/reram"
+	"reramtest/internal/tensor"
+)
+
+func main() {
+	env, err := experiments.NewEnv(experiments.DefaultScale(), os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "self_healing:", err)
+		os.Exit(1)
+	}
+	net := env.LeNet
+	eval := env.DigitsTest.Head(300)
+
+	cfg := reram.DefaultConfig()
+	cfg.Device.ProgramSigma = 0.04
+	cfg.Device.DriftRate = 0.0006
+	accel := reram.NewAccelerator(net, cfg, 11)
+	patterns := env.PatternsDefault("lenet5", "ctp")
+	mon := monitor.New(net, patterns, nil, monitor.DefaultConfig())
+
+	infer := func(x *tensor.Tensor) *tensor.Tensor {
+		return nn.Softmax(accel.ReadoutNetwork().Forward(x))
+	}
+	accuracy := func() float64 {
+		return accel.ReadoutNetwork().Accuracy(eval.X, eval.Y, 64)
+	}
+
+	// the field scenario: slow drift, then an endurance stuck-at burst
+	events := []struct {
+		name  string
+		apply func()
+	}{
+		{"commissioning", func() {}},
+		{"1000h of drift", func() { accel.AdvanceTime(1000) }},
+		{"endurance burst: 1.5% SA0 + 0.75% SA1", func() { accel.InjectStuckAt(0.015, 0.0075) }},
+	}
+
+	for _, ev := range events {
+		ev.apply()
+		rep := mon.Check(infer)
+		fmt.Printf("\n== %s ==\n", ev.name)
+		fmt.Printf("monitor: %s\n", rep)
+		fmt.Printf("true accuracy: %.1f%%\n", 100*accuracy())
+
+		action := repair.PlanFor(rep.Status)
+		if action == repair.NoAction {
+			fmt.Println("plan: healthy — no repair")
+			continue
+		}
+		fmt.Printf("plan: %s\n", action)
+		result, newRef := execute(action, accel, net, env, accuracy)
+		fmt.Printf("repair: %s\n", result)
+		if newRef != nil {
+			// a retraining repair changes the reference weights, so golden
+			// outputs must be re-captured against the new model — otherwise
+			// the monitor keeps comparing the accelerator to a model that no
+			// longer exists
+			mon = monitor.New(newRef, patterns, nil, monitor.DefaultConfig())
+			fmt.Println("monitor re-commissioned against the retrained reference")
+		}
+		after := mon.Check(infer)
+		fmt.Printf("post-repair monitor: status=%s allDist=%.4f\n", after.Status, after.AllDist)
+	}
+}
+
+// execute runs one repair action against the accelerator. For retraining
+// repairs it returns the retrained reference model so the caller can
+// re-commission the monitor against it.
+func execute(action repair.Action, accel *reram.Accelerator, target *nn.Network,
+	env *experiments.Env, accuracy func() float64) (repair.Report, *nn.Network) {
+	before := accuracy()
+	rep := repair.Report{Action: action, AccBefore: before, AccAfter: -1}
+	var newRef *nn.Network
+	switch action {
+	case repair.Reprogram:
+		accel.Reprogram()
+	case repair.Retrain, repair.Replace:
+		// diagnose which cells are stuck (leaves the arrays reprogrammed, so
+		// drift damage is already cleared)
+		stuck := repair.DiagnoseStuck(accel, target, 0.3)
+		rep.Stuck = stuck.Count()
+		// cloud-edge path: fine-tune a copy of the model around the frozen
+		// faults, then push the compensated weights back to the device
+		faulty := accel.ReadoutNetwork()
+		cfg := repair.DefaultRetrainConfig()
+		cfg.Epochs = 2
+		cfg.Log = os.Stderr
+		repair.RetrainAround(faulty, stuck, env.DigitsTrain.Head(2000), nil, cfg)
+		accel.ProgramNetwork(faulty) // stuck cells ignore the write — that is why they were frozen
+		rep.Detail = "(retrained around frozen faults, weights re-deployed)"
+		newRef = faulty
+	}
+	rep.AccAfter = accuracy()
+	return rep, newRef
+}

@@ -1,0 +1,3 @@
+module reramtest
+
+go 1.22

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"reramtest/internal/tensor"
+)
+
+// IDX magic numbers (LeCun's MNIST distribution format).
+const (
+	idxMagicImages = 0x00000803 // unsigned byte, 3 dimensions
+	idxMagicLabels = 0x00000801 // unsigned byte, 1 dimension
+)
+
+// ReadIDXImages parses an IDX3 image file (optionally gzip-compressed by
+// filename) into an (N, H*W) tensor scaled to [0, 1].
+func ReadIDXImages(path string) (*tensor.Tensor, int, int, error) {
+	rd, closeFn, err := openMaybeGzip(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer closeFn()
+
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(rd, binary.BigEndian, &hdr[i]); err != nil {
+			return nil, 0, 0, fmt.Errorf("dataset: reading IDX header of %s: %w", path, err)
+		}
+	}
+	if hdr[0] != idxMagicImages {
+		return nil, 0, 0, fmt.Errorf("dataset: %s has magic 0x%08x, want image magic 0x%08x", path, hdr[0], idxMagicImages)
+	}
+	n, h, w := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	buf := make([]byte, n*h*w)
+	if _, err := io.ReadFull(rd, buf); err != nil {
+		return nil, 0, 0, fmt.Errorf("dataset: reading %d IDX images from %s: %w", n, path, err)
+	}
+	t := tensor.New(n, h*w)
+	td := t.Data()
+	for i, b := range buf {
+		td[i] = float64(b) / 255
+	}
+	return t, h, w, nil
+}
+
+// ReadIDXLabels parses an IDX1 label file (optionally gzip-compressed by
+// filename) into an int slice.
+func ReadIDXLabels(path string) ([]int, error) {
+	rd, closeFn, err := openMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closeFn()
+
+	var magic, n uint32
+	if err := binary.Read(rd, binary.BigEndian, &magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading IDX header of %s: %w", path, err)
+	}
+	if magic != idxMagicLabels {
+		return nil, fmt.Errorf("dataset: %s has magic 0x%08x, want label magic 0x%08x", path, magic, idxMagicLabels)
+	}
+	if err := binary.Read(rd, binary.BigEndian, &n); err != nil {
+		return nil, fmt.Errorf("dataset: reading IDX count of %s: %w", path, err)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rd, buf); err != nil {
+		return nil, fmt.Errorf("dataset: reading %d IDX labels from %s: %w", n, path, err)
+	}
+	out := make([]int, n)
+	for i, b := range buf {
+		out[i] = int(b)
+	}
+	return out, nil
+}
+
+// WriteIDXImages writes an (N, H*W) tensor of [0,1] values as an IDX3 file.
+func WriteIDXImages(path string, t *tensor.Tensor, h, w int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	n := t.Dim(0)
+	hdr := []uint32{idxMagicImages, uint32(n), uint32(h), uint32(w)}
+	for _, v := range hdr {
+		if err := binary.Write(f, binary.BigEndian, v); err != nil {
+			return fmt.Errorf("dataset: writing IDX header to %s: %w", path, err)
+		}
+	}
+	buf := make([]byte, t.Len())
+	for i, v := range t.Data() {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		buf[i] = byte(v*255 + 0.5)
+	}
+	if _, err := f.Write(buf); err != nil {
+		return fmt.Errorf("dataset: writing IDX data to %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadMNIST loads real MNIST IDX files from dir (train-images-idx3-ubyte,
+// train-labels-idx1-ubyte, optionally .gz) if present. It exists so the
+// synthetic stand-in can be swapped for the real dataset without touching
+// callers.
+func LoadMNIST(dir, split string) (*Dataset, error) {
+	prefix := "train"
+	if split == "test" {
+		prefix = "t10k"
+	}
+	imgPath, err := findIDX(dir, prefix+"-images-idx3-ubyte")
+	if err != nil {
+		return nil, err
+	}
+	lblPath, err := findIDX(dir, prefix+"-labels-idx1-ubyte")
+	if err != nil {
+		return nil, err
+	}
+	x, h, w, err := ReadIDXImages(imgPath)
+	if err != nil {
+		return nil, err
+	}
+	y, err := ReadIDXLabels(lblPath)
+	if err != nil {
+		return nil, err
+	}
+	if x.Dim(0) != len(y) {
+		return nil, fmt.Errorf("dataset: MNIST %s has %d images but %d labels", split, x.Dim(0), len(y))
+	}
+	d := &Dataset{Name: "mnist-" + split, Classes: 10, C: 1, H: h, W: w, X: x, Y: y}
+	return d, d.Validate()
+}
+
+func findIDX(dir, base string) (string, error) {
+	for _, cand := range []string{base, base + ".gz"} {
+		p := filepath.Join(dir, cand)
+		if _, err := os.Stat(p); err == nil {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("dataset: %s(.gz) not found in %s", base, dir)
+}
+
+func openMaybeGzip(path string) (io.Reader, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: opening %s: %w", path, err)
+	}
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("dataset: opening gzip %s: %w", path, err)
+		}
+		return gz, func() error {
+			gz.Close()
+			return f.Close()
+		}, nil
+	}
+	return f, f.Close, nil
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// namedSeries is one line of an ASCII chart.
+type namedSeries struct {
+	name   string
+	symbol byte
+	y      []float64
+}
+
+// asciiChart renders series over a shared x grid as a terminal line plot —
+// the closest a text harness gets to the paper's figures. Points are
+// plotted with per-series symbols; collisions show the later series. The
+// y-axis spans the data range; asciiChartBounded pins it instead.
+func asciiChart(title string, x []float64, series []namedSeries, height int) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.y {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if !(hi > lo) { // flat or empty data: open a window below
+		hi, lo = lo, lo-1
+	}
+	return asciiChartBounded(title, x, series, height, lo, hi)
+}
+
+// asciiChartBounded renders with a fixed y-axis window.
+func asciiChartBounded(title string, x []float64, series []namedSeries, height int, lo, hi float64) string {
+	if height < 4 {
+		height = 4
+	}
+	const colWidth = 7 // characters per x position
+	width := colWidth * len(x)
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(v float64) int {
+		// top row = hi, bottom row = lo
+		t := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - t)))
+		if r < 0 {
+			r = 0
+		} else if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for _, s := range series {
+		for i, v := range s.y {
+			if i >= len(x) {
+				break
+			}
+			c := i*colWidth + colWidth/2
+			grid[row(v)][c] = s.symbol
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yLabel := func(r int) float64 {
+		return hi - (hi-lo)*float64(r)/float64(height-1)
+	}
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%8.3f |%s\n", yLabel(r), string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", width) + "\n")
+	b.WriteString(strings.Repeat(" ", 10))
+	for _, v := range x {
+		fmt.Fprintf(&b, "%-*s", colWidth, trimFloat(v))
+	}
+	b.WriteByte('\n')
+	legend := make([]string, len(series))
+	for i, s := range series {
+		legend[i] = fmt.Sprintf("%c=%s", s.symbol, s.name)
+	}
+	fmt.Fprintf(&b, "%10s%s\n", "", strings.Join(legend, "  "))
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	if len(s) > 6 {
+		s = s[:6]
+	}
+	return s
+}
+
+// methodSymbol assigns stable plot symbols to the evaluated methods.
+func methodSymbol(m string) byte {
+	switch m {
+	case "aet":
+		return 'A'
+	case "ctp":
+		return 'C'
+	case "otp":
+		return 'O'
+	case "plain":
+		return 'P'
+	default:
+		return '*'
+	}
+}
+
+// Chart renders the Fig. 3 confidence-distance panels as ASCII plots.
+func (f *Fig3Result) Chart() string {
+	var b strings.Builder
+	for _, model := range f.Models {
+		for _, panel := range []struct {
+			name string
+			data map[string][]float64
+		}{
+			{"top-ranked confidence distance", f.Top[model]},
+			{"all confidence distance", f.All[model]},
+		} {
+			var series []namedSeries
+			for _, m := range Methods {
+				series = append(series, namedSeries{methodLabel(m), methodSymbol(m), panel.data[m]})
+			}
+			b.WriteString(asciiChart(
+				fmt.Sprintf("%s — %s vs σ", modelLabel(model), panel.name),
+				f.Sigmas[model], series, 10))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Chart renders the detection-rate panels (Figs. 4-6) as ASCII plots.
+func (f *RateFigResult) Chart() string {
+	var b strings.Builder
+	for _, model := range f.Models {
+		for _, c := range f.Criteria {
+			var series []namedSeries
+			for _, m := range Methods {
+				if m == "otp" && !otpApplies(c) {
+					continue
+				}
+				series = append(series, namedSeries{methodLabel(m), methodSymbol(m), f.Rates[model][m][c]})
+			}
+			b.WriteString(asciiChartBounded(
+				fmt.Sprintf("%s — detection rate (%s) vs %s", modelLabel(model), c, f.LevelName),
+				f.Levels[model], series, 8, 0, 1))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Chart renders Fig. 8's distance-vs-σ series (with accuracy as its own
+// line) as an ASCII plot.
+func (f *Fig8Result) Chart() string {
+	var series []namedSeries
+	for _, m := range []string{"plain", "aet", "ctp", "otp"} {
+		series = append(series, namedSeries{methodLabel(m), methodSymbol(m), f.Dist[m]})
+	}
+	return asciiChart("confidence distance vs σ (accuracy falls rightward; see table)",
+		f.Sigmas, series, 10)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiChartBasics(t *testing.T) {
+	out := asciiChart("test chart",
+		[]float64{1, 2, 3},
+		[]namedSeries{
+			{"up", 'U', []float64{0, 0.5, 1}},
+			{"down", 'D', []float64{1, 0.5, 0}},
+		}, 5)
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("chart missing title")
+	}
+	if !strings.Contains(out, "U=up") || !strings.Contains(out, "D=down") {
+		t.Fatalf("chart missing legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// title + 5 grid rows + axis + labels + legend
+	if len(lines) < 9 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+	// the increasing series must plot its max on the top grid row and its
+	// min on the bottom one
+	top, bottom := lines[1], lines[5]
+	if !strings.Contains(top, "U") {
+		t.Fatalf("max of rising series not on top row:\n%s", out)
+	}
+	if !strings.Contains(bottom, "U") {
+		t.Fatalf("min of rising series not on bottom row:\n%s", out)
+	}
+	// collision handling: D and U share the middle value; later series wins
+	if !strings.Contains(out, "D") {
+		t.Fatalf("second series absent:\n%s", out)
+	}
+}
+
+func TestAsciiChartFlatSeries(t *testing.T) {
+	out := asciiChart("flat", []float64{1, 2}, []namedSeries{
+		{"const", 'K', []float64{5, 5}},
+	}, 4)
+	if !strings.Contains(out, "K") {
+		t.Fatalf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestAsciiChartBoundedClamps(t *testing.T) {
+	out := asciiChartBounded("clamped", []float64{1}, []namedSeries{
+		{"over", 'O', []float64{5}}, // above the window
+	}, 4, 0, 1)
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "O") {
+		t.Fatalf("out-of-window point not clamped to top row:\n%s", out)
+	}
+}
+
+func TestMethodSymbolsDistinct(t *testing.T) {
+	seen := map[byte]string{}
+	for _, m := range []string{"aet", "ctp", "otp", "plain"} {
+		s := methodSymbol(m)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("methods %s and %s share symbol %c", prev, m, s)
+		}
+		seen[s] = m
+	}
+}
+
+func TestFigChartsRender(t *testing.T) {
+	e := env(t)
+	if out := e.Fig3().Chart(); !strings.Contains(out, "A=AET") {
+		t.Fatal("Fig3 chart missing AET series")
+	}
+	if out := e.Fig5().Chart(); !strings.Contains(out, "detection rate") {
+		t.Fatal("Fig5 chart missing title")
+	}
+	if out := e.Fig8().Chart(); !strings.Contains(out, "P=Original") {
+		t.Fatal("Fig8 chart missing plain baseline")
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table is a minimal fixed-width text-table builder for experiment output.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addFloatRow(label string, vals []float64, format string) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf(format, v))
+	}
+	t.addRow(cells...)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// methodLabel maps method keys to the paper's names.
+func methodLabel(m string) string {
+	switch m {
+	case "aet":
+		return "AET"
+	case "ctp":
+		return "C-TP"
+	case "otp":
+		return "O-TP"
+	case "plain":
+		return "Original"
+	default:
+		return m
+	}
+}
+
+// modelLabel maps model keys to the paper's names.
+func modelLabel(m string) string {
+	switch m {
+	case "lenet5":
+		return "LeNet-5 (SynthDigits)"
+	case "convnet7":
+		return "ConvNet-7 (SynthObjects)"
+	default:
+		return m
+	}
+}

@@ -1,0 +1,195 @@
+// Package faults implements the weight-level error models the paper injects
+// into trained networks to create "fault models":
+//
+//   - LogNormal: the programming-variation model w' = w·e^θ, θ ~ N(0, σ²),
+//     from memristor resistance variation (paper §II-B and §IV-A).
+//   - RandomSoft: run-time random soft errors — with probability p each
+//     weight is replaced by a random value drawn from its layer's range
+//     (paper §IV-A: p = 0.5%/1% on LeNet-5, 0.1%/0.3% on ConvNet-7).
+//   - StuckAt: hard faults freezing a device at LRS (SA1 → maximal weight
+//     magnitude) or HRS (SA0 → zero conductance contribution) (paper §II-B).
+//   - Drift: gradual multiplicative resistance drift over time.
+//
+// Injectors mutate ReRAM-resident parameters only — tensors named
+// "*.weight", since biases live in digital logic on every published
+// crossbar design — and are applied to clones of the clean model, never to
+// the original.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"reramtest/internal/nn"
+	"reramtest/internal/rng"
+)
+
+// Injector mutates the ReRAM-resident weights of a network in place.
+type Injector interface {
+	// Name identifies the error model for reports, e.g. "lognormal(0.30)".
+	Name() string
+	// Apply corrupts net's weights using randomness from r.
+	Apply(net *nn.Network, r *rng.RNG)
+}
+
+// weightParams returns the parameters an injector targets: crossbar-resident
+// weight tensors, excluding biases.
+func weightParams(net *nn.Network) []*nn.Param {
+	var out []*nn.Param
+	for _, p := range net.Params() {
+		if strings.HasSuffix(p.Name, ".weight") {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LogNormal is the paper's programming-variation model: every weight is
+// multiplied by e^θ with θ ~ N(0, σ²).
+type LogNormal struct {
+	Sigma float64
+}
+
+// Name implements Injector.
+func (l LogNormal) Name() string { return fmt.Sprintf("lognormal(%.2f)", l.Sigma) }
+
+// Apply multiplies every weight by an independent lognormal factor.
+func (l LogNormal) Apply(net *nn.Network, r *rng.RNG) {
+	for _, p := range weightParams(net) {
+		d := p.Value.Data()
+		for i := range d {
+			d[i] *= r.LogNormal(0, l.Sigma)
+		}
+	}
+}
+
+// RandomSoft models run-time random soft errors: with probability p a weight
+// is replaced by a uniform random value spanning its tensor's value range —
+// the digital-side view of a cell that has been disturbed to an arbitrary
+// resistance level.
+type RandomSoft struct {
+	P float64
+}
+
+// Name implements Injector.
+func (s RandomSoft) Name() string { return fmt.Sprintf("randomsoft(%.3f%%)", 100*s.P) }
+
+// Apply corrupts each weight independently with probability P.
+func (s RandomSoft) Apply(net *nn.Network, r *rng.RNG) {
+	for _, p := range weightParams(net) {
+		d := p.Value.Data()
+		lo, hi := p.Value.Min(), p.Value.Max()
+		for i := range d {
+			if r.Bernoulli(s.P) {
+				d[i] = r.Uniform(lo, hi)
+			}
+		}
+	}
+}
+
+// StuckAt models hard device faults: with probability P0 a weight's cell is
+// stuck at HRS (zero conductance contribution → weight 0) and with
+// probability P1 stuck at LRS (full-scale conductance → ±max magnitude,
+// keeping the original sign since sign lives in the differential pair
+// assignment).
+type StuckAt struct {
+	P0 float64 // stuck-at-zero probability
+	P1 float64 // stuck-at-one probability
+}
+
+// Name implements Injector.
+func (s StuckAt) Name() string {
+	return fmt.Sprintf("stuckat(sa0=%.3f%%, sa1=%.3f%%)", 100*s.P0, 100*s.P1)
+}
+
+// Apply freezes a random subset of weights at 0 or at the tensor's maximum
+// magnitude.
+func (s StuckAt) Apply(net *nn.Network, r *rng.RNG) {
+	for _, p := range weightParams(net) {
+		d := p.Value.Data()
+		maxAbs := 0.0
+		for _, v := range d {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for i := range d {
+			u := r.Float64()
+			switch {
+			case u < s.P0:
+				d[i] = 0
+			case u < s.P0+s.P1:
+				if d[i] >= 0 {
+					d[i] = maxAbs
+				} else {
+					d[i] = -maxAbs
+				}
+			}
+		}
+	}
+}
+
+// Drift models gradual resistance drift: after time t each weight decays
+// toward zero by e^(-Rate·t) with additional lognormal jitter of width
+// Jitter·sqrt(t), approximating the diffusion of filament states.
+type Drift struct {
+	Rate   float64 // deterministic decay rate per unit time
+	Jitter float64 // stochastic lognormal σ per sqrt unit time
+	T      float64 // elapsed time
+}
+
+// Name implements Injector.
+func (d Drift) Name() string {
+	return fmt.Sprintf("drift(rate=%.3f, jitter=%.3f, t=%.1f)", d.Rate, d.Jitter, d.T)
+}
+
+// Apply decays and jitters every weight.
+func (d Drift) Apply(net *nn.Network, r *rng.RNG) {
+	decay := math.Exp(-d.Rate * d.T)
+	sigma := d.Jitter * math.Sqrt(d.T)
+	for _, p := range weightParams(net) {
+		data := p.Value.Data()
+		for i := range data {
+			data[i] *= decay * r.LogNormal(0, sigma)
+		}
+	}
+}
+
+// Compose chains several injectors into one.
+type Compose []Injector
+
+// Name implements Injector.
+func (c Compose) Name() string {
+	parts := make([]string, len(c))
+	for i, inj := range c {
+		parts[i] = inj.Name()
+	}
+	return strings.Join(parts, "+")
+}
+
+// Apply applies each component in order.
+func (c Compose) Apply(net *nn.Network, r *rng.RNG) {
+	for _, inj := range c {
+		inj.Apply(net, r)
+	}
+}
+
+// MakeFaulty clones clean and applies inj to the clone with a fresh RNG
+// seeded by seed. The clean network is never modified.
+func MakeFaulty(clean *nn.Network, inj Injector, seed int64) *nn.Network {
+	faulty := clean.Clone()
+	inj.Apply(faulty, rng.New(seed))
+	return faulty
+}
+
+// MakeFaultySet builds count independent fault models of clean under inj,
+// with seeds derived deterministically from baseSeed.
+func MakeFaultySet(clean *nn.Network, inj Injector, count int, baseSeed int64) []*nn.Network {
+	r := rng.New(baseSeed)
+	out := make([]*nn.Network, count)
+	for i := range out {
+		out[i] = MakeFaulty(clean, inj, r.Int63())
+	}
+	return out
+}

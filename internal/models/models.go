@@ -1,0 +1,95 @@
+// Package models defines the two evaluation networks from the paper —
+// LeNet-5 for the MNIST-class workload and ConvNet-7 (4 convolutional +
+// 3 fully-connected layers) for the CIFAR10-class workload — together with
+// weight serialization and a training loop with on-disk caching so
+// experiments never retrain.
+package models
+
+import (
+	"reramtest/internal/nn"
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+// LeNet5 builds the classic LeCun '98 architecture for 28×28 grayscale
+// input: conv(5×5, 6) → pool → conv(5×5, 16) → pool → FC120 → FC84 → FC10.
+// ReLU activations are used in place of the original tanh, per modern
+// practice (the paper trains to 99.04% on MNIST; ReLU reaches that operating
+// point far faster on CPU).
+func LeNet5(r *rng.RNG) *nn.Network {
+	conv1 := tensor.ConvGeom{InC: 1, InH: 28, InW: 28, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}
+	pool1 := tensor.ConvGeom{InC: 6, InH: 28, InW: 28, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	conv2 := tensor.ConvGeom{InC: 6, InH: 14, InW: 14, KH: 5, KW: 5, StrideH: 1, StrideW: 1}
+	pool2 := tensor.ConvGeom{InC: 16, InH: 10, InW: 10, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	return nn.NewNetwork("lenet5", 28*28,
+		nn.NewConv2D("conv1", r, conv1, 6),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool2D("pool1", pool1),
+		nn.NewConv2D("conv2", r, conv2, 16),
+		nn.NewReLU("relu2"),
+		nn.NewMaxPool2D("pool2", pool2),
+		nn.NewFlatten("flatten"),
+		nn.NewDense("fc1", r, 16*5*5, 120),
+		nn.NewReLU("relu3"),
+		nn.NewDense("fc2", r, 120, 84),
+		nn.NewReLU("relu4"),
+		nn.NewDense("fc3", r, 84, 10),
+	)
+}
+
+// ConvNet7 builds the paper's customised 7-layer CIFAR10 network: four 3×3
+// convolutional layers and three fully-connected layers. The exact channel
+// widths are not published; these are sized for single-core CPU training
+// while keeping the 4-conv + 3-FC structure.
+func ConvNet7(r *rng.RNG) *nn.Network {
+	conv1 := tensor.ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	pool1 := tensor.ConvGeom{InC: 12, InH: 32, InW: 32, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	conv2 := tensor.ConvGeom{InC: 12, InH: 16, InW: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	pool2 := tensor.ConvGeom{InC: 24, InH: 16, InW: 16, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	conv3 := tensor.ConvGeom{InC: 24, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	conv4 := tensor.ConvGeom{InC: 32, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	pool4 := tensor.ConvGeom{InC: 32, InH: 8, InW: 8, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	return nn.NewNetwork("convnet7", 3*32*32,
+		nn.NewConv2D("conv1", r, conv1, 12),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool2D("pool1", pool1),
+		nn.NewConv2D("conv2", r, conv2, 24),
+		nn.NewReLU("relu2"),
+		nn.NewMaxPool2D("pool2", pool2),
+		nn.NewConv2D("conv3", r, conv3, 32),
+		nn.NewReLU("relu3"),
+		nn.NewConv2D("conv4", r, conv4, 32),
+		nn.NewReLU("relu4"),
+		nn.NewMaxPool2D("pool4", pool4),
+		nn.NewFlatten("flatten"),
+		nn.NewDense("fc1", r, 32*4*4, 128),
+		nn.NewReLU("relu5"),
+		nn.NewDense("fc2", r, 128, 64),
+		nn.NewReLU("relu6"),
+		nn.NewDense("fc3", r, 64, 10),
+	)
+}
+
+// MLP builds a small fully-connected classifier, used by fast-running unit
+// tests and the quickstart example where a convolutional stack would be
+// overkill.
+func MLP(r *rng.RNG, in int, hidden []int, out int) *nn.Network {
+	var layers []nn.Layer
+	prev := in
+	for i, h := range hidden {
+		layers = append(layers,
+			nn.NewDense(denseName("fc", i+1), r, prev, h),
+			nn.NewReLU(denseName("relu", i+1)))
+		prev = h
+	}
+	layers = append(layers, nn.NewDense(denseName("fc", len(hidden)+1), r, prev, out))
+	return nn.NewNetwork("mlp", in, layers...)
+}
+
+func denseName(prefix string, i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return prefix + digits[i:i+1]
+	}
+	return prefix + digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}

@@ -1,0 +1,187 @@
+package models
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"reramtest/internal/dataset"
+	"reramtest/internal/nn"
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+func TestLeNet5Architecture(t *testing.T) {
+	net := LeNet5(rng.New(1))
+	if net.InDim() != 784 {
+		t.Fatalf("LeNet-5 input dim %d, want 784", net.InDim())
+	}
+	// the classic parameter count: 61,706
+	if got := net.NumParams(); got != 61706 {
+		t.Fatalf("LeNet-5 has %d params, want 61706", got)
+	}
+	out := net.Forward(tensor.New(2, 784))
+	if out.Dim(0) != 2 || out.Dim(1) != 10 {
+		t.Fatalf("LeNet-5 output %v, want (2, 10)", out.Shape())
+	}
+}
+
+func TestConvNet7Architecture(t *testing.T) {
+	net := ConvNet7(rng.New(2))
+	if net.InDim() != 3*32*32 {
+		t.Fatalf("ConvNet-7 input dim %d", net.InDim())
+	}
+	// 4 conv + 3 FC weight-bearing layers
+	convs, denses := 0, 0
+	for _, l := range net.Layers() {
+		switch l.(type) {
+		case *nn.Conv2D:
+			convs++
+		case *nn.Dense:
+			denses++
+		}
+	}
+	if convs != 4 || denses != 3 {
+		t.Fatalf("ConvNet-7 has %d conv + %d FC, want 4 + 3", convs, denses)
+	}
+	out := net.Forward(tensor.New(1, 3*32*32))
+	if out.Dim(1) != 10 {
+		t.Fatalf("ConvNet-7 output width %d", out.Dim(1))
+	}
+}
+
+func TestMLPShapes(t *testing.T) {
+	net := MLP(rng.New(3), 20, []int{8, 4}, 3)
+	out := net.Forward(tensor.New(5, 20))
+	if out.Dim(0) != 5 || out.Dim(1) != 3 {
+		t.Fatalf("MLP output %v", out.Shape())
+	}
+	want := 20*8 + 8 + 8*4 + 4 + 4*3 + 3
+	if got := net.NumParams(); got != want {
+		t.Fatalf("MLP params %d, want %d", got, want)
+	}
+}
+
+func TestBuildersDeterministic(t *testing.T) {
+	a, b := LeNet5(rng.New(7)), LeNet5(rng.New(7))
+	for i := range a.Params() {
+		if !a.Params()[i].Value.Equal(b.Params()[i].Value) {
+			t.Fatal("same seed produced different initial weights")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	net := MLP(rng.New(4), 6, []int{5}, 3)
+	path := filepath.Join(t.TempDir(), "w.bin")
+	if err := SaveWeights(path, net); err != nil {
+		t.Fatal(err)
+	}
+	other := MLP(rng.New(99), 6, []int{5}, 3) // different init
+	if err := LoadWeights(path, other); err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Params() {
+		if !net.Params()[i].Value.Equal(other.Params()[i].Value) {
+			t.Fatalf("param %s differs after round trip", net.Params()[i].Name)
+		}
+	}
+}
+
+func TestLoadWeightsRejectsWrongArchitecture(t *testing.T) {
+	net := MLP(rng.New(5), 6, []int{5}, 3)
+	path := filepath.Join(t.TempDir(), "w.bin")
+	if err := SaveWeights(path, net); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(path, MLP(rng.New(5), 6, []int{4}, 3)); err == nil {
+		t.Fatal("loaded weights into mismatched architecture")
+	}
+	if err := LoadWeights(path, MLP(rng.New(5), 6, []int{5, 2}, 3)); err == nil {
+		t.Fatal("loaded weights into network with different param count")
+	}
+}
+
+func TestLoadWeightsRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.bin")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(path, MLP(rng.New(6), 4, nil, 2)); err == nil {
+		t.Fatal("garbage file loaded without error")
+	}
+}
+
+func TestTrainFitsSmallDataset(t *testing.T) {
+	train := dataset.SynthDigits(50, dataset.DefaultDigitsConfig(400))
+	net := MLP(rng.New(7), train.SampleDim(), []int{32}, 10)
+	cfg := TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.03, Momentum: 0.9, Seed: 1}
+	acc := Train(net, train, nil, cfg)
+	if acc < 0.85 {
+		t.Fatalf("training reached only %.1f%% on its own training set", 100*acc)
+	}
+}
+
+func TestTrainWithLabelSmoothing(t *testing.T) {
+	train := dataset.SynthDigits(51, dataset.DefaultDigitsConfig(300))
+	net := MLP(rng.New(8), train.SampleDim(), []int{24}, 10)
+	cfg := TrainConfig{Epochs: 4, BatchSize: 32, LR: 0.03, Momentum: 0.9, LabelSmooth: 0.1, Seed: 2}
+	acc := Train(net, train, nil, cfg)
+	if acc < 0.8 {
+		t.Fatalf("smoothed training reached only %.1f%%", 100*acc)
+	}
+	// smoothing caps confidence: max softmax output should stay below ~0.95
+	logits := net.Forward(train.Input(0))
+	probs := nn.Softmax(logits)
+	if probs.Max() > 0.995 {
+		t.Errorf("label smoothing left confidence at %v", probs.Max())
+	}
+}
+
+func TestTrainOrLoadCaches(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache", "model.bin")
+	train := dataset.SynthDigits(52, dataset.DefaultDigitsConfig(100))
+	builds, trains := 0, 0
+	build := func() *nn.Network {
+		builds++
+		return MLP(rng.New(9), train.SampleDim(), nil, 10)
+	}
+	trainFn := func(net *nn.Network) {
+		trains++
+		Train(net, train, nil, TrainConfig{Epochs: 1, BatchSize: 32, LR: 0.01, Seed: 3})
+	}
+	first, err := TrainOrLoad(path, build, trainFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trains != 1 {
+		t.Fatalf("first call trained %d times", trains)
+	}
+	second, err := TrainOrLoad(path, build, trainFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trains != 1 {
+		t.Fatalf("second call retrained (total %d)", trains)
+	}
+	for i := range first.Params() {
+		if !first.Params()[i].Value.Equal(second.Params()[i].Value) {
+			t.Fatal("cached weights differ from trained weights")
+		}
+	}
+}
+
+func TestTrainOrLoadCorruptCacheErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	if err := os.WriteFile(path, []byte("corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := TrainOrLoad(path,
+		func() *nn.Network { return MLP(rng.New(10), 4, nil, 2) },
+		func(*nn.Network) {})
+	if err == nil {
+		t.Fatal("corrupt cache silently accepted")
+	}
+}

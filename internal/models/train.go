@@ -1,0 +1,121 @@
+package models
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"reramtest/internal/dataset"
+	"reramtest/internal/nn"
+	"reramtest/internal/opt"
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+// TrainConfig controls the supervised training loop.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	Decay     float64 // L2 weight decay
+	LRStep    int     // halve LR every LRStep epochs (0 = constant)
+	// LabelSmooth is the label-smoothing mass ε: targets become 1-ε on the
+	// true class and ε/(n-1) elsewhere. Smoothing calibrates the model's
+	// confidences, which matters here beyond its usual regularisation role:
+	// the C-TP corner-data selector needs genuinely soft outputs near
+	// decision boundaries, and an unsmoothed over-confident model hides
+	// them.
+	LabelSmooth float64
+	Seed        int64 // shuffling seed
+	Log         io.Writer
+}
+
+// DefaultTrainConfig returns the settings used to train both evaluation
+// models.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 6, BatchSize: 32, LR: 0.05, Momentum: 0.9, Decay: 1e-4, LRStep: 3, LabelSmooth: 0.1, Seed: 7}
+}
+
+// Train runs mini-batch SGD on net over train, reporting per-epoch loss and
+// (if test is non-nil) test accuracy. It returns the final test accuracy, or
+// final train accuracy when test is nil.
+func Train(net *nn.Network, train, test *dataset.Dataset, cfg TrainConfig) float64 {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	r := rng.New(cfg.Seed)
+	sgd := opt.NewSGD(net.Params(), cfg.LR, cfg.Momentum, cfg.Decay)
+	net.SetTraining(true)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRStep > 0 {
+			sgd.SetLR(opt.StepDecay(cfg.LR, 0.5, cfg.LRStep)(epoch))
+		}
+		start := time.Now()
+		totalLoss, nBatches := 0.0, 0
+		for _, b := range train.Batches(cfg.BatchSize, r) {
+			logits := net.Forward(b.X)
+			var loss float64
+			var grad *tensor.Tensor
+			if cfg.LabelSmooth > 0 {
+				loss, grad = nn.SoftCrossEntropy(logits, smoothLabels(b.Y, train.Classes, cfg.LabelSmooth))
+			} else {
+				loss, grad = nn.CrossEntropy(logits, b.Y)
+			}
+			net.ZeroGrad()
+			net.Backward(grad)
+			sgd.Step()
+			totalLoss += loss
+			nBatches++
+		}
+		fmt.Fprintf(logw, "epoch %d/%d: loss=%.4f lr=%.4f (%.1fs)\n",
+			epoch+1, cfg.Epochs, totalLoss/float64(nBatches), sgd.LR(), time.Since(start).Seconds())
+	}
+	net.SetTraining(false)
+	eval := test
+	if eval == nil {
+		eval = train
+	}
+	acc := net.Accuracy(eval.X, eval.Y, 64)
+	fmt.Fprintf(logw, "%s final accuracy on %s: %.2f%%\n", net.Name(), eval.Name, 100*acc)
+	return acc
+}
+
+// smoothLabels builds label-smoothed soft targets.
+func smoothLabels(labels []int, classes int, eps float64) *tensor.Tensor {
+	t := tensor.Full(eps/float64(classes-1), len(labels), classes)
+	td := t.Data()
+	for s, y := range labels {
+		td[s*classes+y] = 1 - eps
+	}
+	return t
+}
+
+// TrainOrLoad returns a trained network, loading cached weights from path if
+// the file exists and otherwise training from scratch with trainFn and
+// caching the result. build must deterministically construct the (untrained)
+// architecture.
+func TrainOrLoad(path string, build func() *nn.Network, trainFn func(net *nn.Network)) (*nn.Network, error) {
+	net := build()
+	if _, err := os.Stat(path); err == nil {
+		if err := LoadWeights(path, net); err != nil {
+			return nil, fmt.Errorf("models: cached weights at %s are unreadable: %w", path, err)
+		}
+		net.SetTraining(false)
+		return net, nil
+	}
+	trainFn(net)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("models: creating cache dir for %s: %w", path, err)
+	}
+	if err := SaveWeights(path, net); err != nil {
+		return nil, fmt.Errorf("models: caching weights: %w", err)
+	}
+	return net, nil
+}

@@ -1,0 +1,232 @@
+// Package monitor assembles the paper's pieces into the deployable artifact
+// its title promises: a run-time health monitor for a ReRAM DNN accelerator.
+// A Monitor owns a small pattern set and its golden confidences; each Check
+// pushes the patterns through the (possibly degraded) accelerator, measures
+// the confidence distance, classifies the health status, estimates the
+// accuracy loss via a Fig.-8-style calibration curve, and recommends the
+// cheapest adequate repair action (§I: different repair mechanisms suit
+// different fault severities).
+//
+// Pattern choice matters for coverage. O-TP patterns have uniform golden
+// confidences, so any fault that *also* drives outputs toward uniform — in
+// particular pure multiplicative resistance drift, which shrinks every
+// weight and collapses the logits — produces near-zero confidence distance
+// on them: a structural blind spot of the SDC-A criterion on O-TP. C-TP
+// patterns have peaked goldens and catch that fault class. Monitors guarding
+// drift-prone devices should arm C-TP (or a C-TP + O-TP mix); O-TP remains
+// the better accuracy estimator for bias-style faults (see cmd/monitor).
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reramtest/internal/detect"
+	"reramtest/internal/nn"
+	"reramtest/internal/stats"
+	"reramtest/internal/tensor"
+	"reramtest/internal/testgen"
+)
+
+// Status is the coarse health classification of the accelerator.
+type Status int
+
+// Health statuses in increasing severity.
+const (
+	// Healthy: confidence distance within the noise floor; no action.
+	Healthy Status = iota
+	// Degraded: measurable drift; accuracy loss small but non-zero.
+	Degraded
+	// Impaired: significant accuracy loss; on-device repair advised.
+	Impaired
+	// Critical: severe loss; device needs cloud retraining or remapping.
+	Critical
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Healthy:
+		return "HEALTHY"
+	case Degraded:
+		return "DEGRADED"
+	case Impaired:
+		return "IMPAIRED"
+	case Critical:
+		return "CRITICAL"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Action is the recommended repair mechanism for a status (§I of the paper:
+// repairs have different costs and suit different severities).
+func (s Status) Action() string {
+	switch s {
+	case Healthy:
+		return "none"
+	case Degraded:
+		return "schedule crossbar reprogramming at next idle window"
+	case Impaired:
+		return "fault-aware remapping / redundancy substitution"
+	default:
+		return "cloud-edge collaborative retraining or module replacement"
+	}
+}
+
+// CalibPoint is one (confidence distance → accuracy) calibration sample,
+// produced offline by sweeping fault intensities (the data behind Fig. 8).
+type CalibPoint struct {
+	Distance float64 // mean all-class confidence distance
+	Accuracy float64 // measured model accuracy at that distance
+}
+
+// Config sets the monitor's decision thresholds on the mean all-class
+// confidence distance (the paper's most sensitive aggregate, SDC-A).
+type Config struct {
+	// DegradedAt/ImpairedAt/CriticalAt are ascending distance thresholds.
+	DegradedAt, ImpairedAt, CriticalAt float64
+	// Criteria lists the SDC rules to evaluate and report on each check.
+	Criteria []detect.Criterion
+}
+
+// DefaultConfig uses the paper's SDC-A levels: 3% distance marks degradation
+// and larger multiples mark escalating damage.
+func DefaultConfig() Config {
+	return Config{
+		DegradedAt: 0.03, ImpairedAt: 0.06, CriticalAt: 0.10,
+		Criteria: detect.AllCriteria,
+	}
+}
+
+// Monitor is a commissioned concurrent-test agent for one accelerator.
+type Monitor struct {
+	cfg     Config
+	golden  *detect.Golden
+	calib   []CalibPoint
+	history []Report
+}
+
+// New commissions a monitor: it captures golden confidences of the ideal
+// model on the pattern set. calib may be nil (accuracy estimates are then
+// omitted) or a Fig.-8-style curve sorted in any order.
+func New(ideal *nn.Network, patterns *testgen.PatternSet, calib []CalibPoint, cfg Config) *Monitor {
+	m := &Monitor{cfg: cfg, golden: detect.Capture(ideal, patterns),
+		calib: append([]CalibPoint(nil), calib...)}
+	sort.Slice(m.calib, func(i, j int) bool { return m.calib[i].Distance < m.calib[j].Distance })
+	return m
+}
+
+// Report is the outcome of one concurrent-test round.
+type Report struct {
+	Round       int
+	TopDist     float64
+	AllDist     float64
+	Detected    map[detect.Criterion]bool
+	Status      Status
+	EstAccuracy float64 // -1 when no calibration curve is loaded
+	Action      string
+}
+
+// String renders the report on one line.
+func (r Report) String() string {
+	var flags []string
+	for _, c := range detect.AllCriteria {
+		if r.Detected[c] {
+			flags = append(flags, c.String())
+		}
+	}
+	acc := "n/a"
+	if r.EstAccuracy >= 0 {
+		acc = fmt.Sprintf("%.1f%%", 100*r.EstAccuracy)
+	}
+	return fmt.Sprintf("round %d: status=%s allDist=%.4f topDist=%.4f estAcc=%s flags=[%s] action=%s",
+		r.Round, r.Status, r.AllDist, r.TopDist, acc, strings.Join(flags, ","), r.Action)
+}
+
+// Infer is the accelerator interface the monitor drives: given the pattern
+// batch it returns softmax confidences (M, classes). It abstracts over the
+// weight-level fault models and the device-level crossbar simulator.
+type Infer func(x *tensor.Tensor) *tensor.Tensor
+
+// NetworkInfer adapts an nn.Network into an Infer.
+func NetworkInfer(net *nn.Network) Infer {
+	return func(x *tensor.Tensor) *tensor.Tensor {
+		return nn.Softmax(net.Forward(x))
+	}
+}
+
+// Check runs one concurrent-test round against the accelerator.
+func (m *Monitor) Check(accel Infer) Report {
+	probs := accel(m.golden.Patterns.X)
+	o := m.golden.ObserveProbs(probs)
+	rep := Report{
+		Round:       len(m.history) + 1,
+		TopDist:     o.TopDist,
+		AllDist:     o.AllDist,
+		Detected:    make(map[detect.Criterion]bool, len(m.cfg.Criteria)),
+		EstAccuracy: -1,
+	}
+	for _, c := range m.cfg.Criteria {
+		rep.Detected[c] = o.Detect(c)
+	}
+	switch {
+	case o.AllDist >= m.cfg.CriticalAt:
+		rep.Status = Critical
+	case o.AllDist >= m.cfg.ImpairedAt:
+		rep.Status = Impaired
+	case o.AllDist >= m.cfg.DegradedAt:
+		rep.Status = Degraded
+	default:
+		rep.Status = Healthy
+	}
+	rep.Action = rep.Status.Action()
+	if len(m.calib) > 0 {
+		rep.EstAccuracy = m.EstimateAccuracy(o.AllDist)
+	}
+	m.history = append(m.history, rep)
+	return rep
+}
+
+// EstimateAccuracy interpolates the calibration curve at the observed
+// distance (clamping outside the calibrated range).
+func (m *Monitor) EstimateAccuracy(dist float64) float64 {
+	if len(m.calib) == 0 {
+		return -1
+	}
+	if dist <= m.calib[0].Distance {
+		return m.calib[0].Accuracy
+	}
+	last := m.calib[len(m.calib)-1]
+	if dist >= last.Distance {
+		return last.Accuracy
+	}
+	i := sort.Search(len(m.calib), func(i int) bool { return m.calib[i].Distance >= dist })
+	a, b := m.calib[i-1], m.calib[i]
+	if b.Distance == a.Distance {
+		return b.Accuracy
+	}
+	t := (dist - a.Distance) / (b.Distance - a.Distance)
+	return a.Accuracy*(1-t) + b.Accuracy*t
+}
+
+// History returns all reports so far.
+func (m *Monitor) History() []Report { return m.history }
+
+// Trend summarises the all-distance history — a monotone increase flags
+// progressive degradation (drift/endurance) as opposed to a step change
+// (hard fault event).
+func (m *Monitor) Trend() (slope float64, summary stats.Summary) {
+	xs := make([]float64, len(m.history))
+	ys := make([]float64, len(m.history))
+	for i, r := range m.history {
+		xs[i] = float64(r.Round)
+		ys[i] = r.AllDist
+	}
+	slope, _, _ = stats.LinearFit(xs, ys)
+	return slope, stats.Summarize(ys)
+}
+
+// PatternCount returns the number of concurrent-test patterns in use.
+func (m *Monitor) PatternCount() int { return m.golden.Patterns.M() }

@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"math"
+
+	"reramtest/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation max(0, x).
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU builds a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name returns the layer name.
+func (l *ReLU) Name() string { return l.name }
+
+// Params returns nil: activations are parameter-free.
+func (l *ReLU) Params() []*Param { return nil }
+
+// OutputShape implements Layer: activations preserve shape.
+func (l *ReLU) OutputShape(in []int) []int { return in }
+
+// Clone returns an independent copy.
+func (l *ReLU) Clone() Layer { return &ReLU{name: l.name} }
+
+// Forward applies max(0, x) element-wise.
+func (l *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	od := out.Data()
+	if cap(l.mask) < len(od) {
+		l.mask = make([]bool, len(od))
+	}
+	l.mask = l.mask[:len(od)]
+	for i, v := range od {
+		if v > 0 {
+			l.mask[i] = true
+		} else {
+			l.mask[i] = false
+			od[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient by the forward activation mask.
+func (l *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	out := gradOut.Clone()
+	od := out.Data()
+	for i := range od {
+		if !l.mask[i] {
+			od[i] = 0
+		}
+	}
+	return out
+}
+
+// Tanh is the hyperbolic-tangent activation used by the original LeNet-5.
+type Tanh struct {
+	name    string
+	lastOut *tensor.Tensor
+}
+
+// NewTanh builds a tanh activation layer.
+func NewTanh(name string) *Tanh { return &Tanh{name: name} }
+
+// Name returns the layer name.
+func (l *Tanh) Name() string { return l.name }
+
+// Params returns nil: activations are parameter-free.
+func (l *Tanh) Params() []*Param { return nil }
+
+// OutputShape implements Layer: activations preserve shape.
+func (l *Tanh) OutputShape(in []int) []int { return in }
+
+// Clone returns an independent copy.
+func (l *Tanh) Clone() Layer { return &Tanh{name: l.name} }
+
+// Forward applies tanh element-wise.
+func (l *Tanh) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Map(math.Tanh)
+	l.lastOut = out
+	return out
+}
+
+// Backward multiplies by 1 - tanh².
+func (l *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	out := gradOut.Clone()
+	od, yd := out.Data(), l.lastOut.Data()
+	for i := range od {
+		od[i] *= 1 - yd[i]*yd[i]
+	}
+	return out
+}
+
+// Sigmoid is the logistic activation 1/(1+e^-x).
+type Sigmoid struct {
+	name    string
+	lastOut *tensor.Tensor
+}
+
+// NewSigmoid builds a sigmoid activation layer.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+// Name returns the layer name.
+func (l *Sigmoid) Name() string { return l.name }
+
+// Params returns nil: activations are parameter-free.
+func (l *Sigmoid) Params() []*Param { return nil }
+
+// OutputShape implements Layer: activations preserve shape.
+func (l *Sigmoid) OutputShape(in []int) []int { return in }
+
+// Clone returns an independent copy.
+func (l *Sigmoid) Clone() Layer { return &Sigmoid{name: l.name} }
+
+// Forward applies the logistic function element-wise.
+func (l *Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Map(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	l.lastOut = out
+	return out
+}
+
+// Backward multiplies by y·(1-y).
+func (l *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	out := gradOut.Clone()
+	od, yd := out.Data(), l.lastOut.Data()
+	for i := range od {
+		od[i] *= yd[i] * (1 - yd[i])
+	}
+	return out
+}

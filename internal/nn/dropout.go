@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"fmt"
+
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+// Dropout randomly zeroes activations with probability p during training and
+// is the identity during inference (inverted-dropout scaling, so inference
+// needs no rescale).
+type Dropout struct {
+	name     string
+	p        float64
+	r        *rng.RNG
+	training bool
+	mask     []float64
+}
+
+// NewDropout builds a dropout layer with drop probability p ∈ [0, 1).
+func NewDropout(name string, r *rng.RNG, p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: Dropout %q probability %v out of [0,1)", name, p))
+	}
+	return &Dropout{name: name, p: p, r: r}
+}
+
+// Name returns the layer name.
+func (l *Dropout) Name() string { return l.name }
+
+// Params returns nil: dropout is parameter-free.
+func (l *Dropout) Params() []*Param { return nil }
+
+// OutputShape implements Layer: dropout preserves shape.
+func (l *Dropout) OutputShape(in []int) []int { return in }
+
+// Clone returns an independent copy sharing nothing with the original. The
+// clone gets its own RNG stream split from the source layer's.
+func (l *Dropout) Clone() Layer {
+	return &Dropout{name: l.name, p: l.p, r: l.r.Split(), training: l.training}
+}
+
+// SetTraining toggles dropout on (training) or off (inference).
+func (l *Dropout) SetTraining(on bool) { l.training = on }
+
+// Forward drops activations during training; identity otherwise.
+func (l *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if !l.training || l.p == 0 {
+		l.mask = nil
+		return x.Clone()
+	}
+	out := x.Clone()
+	od := out.Data()
+	if cap(l.mask) < len(od) {
+		l.mask = make([]float64, len(od))
+	}
+	l.mask = l.mask[:len(od)]
+	keep := 1 - l.p
+	for i := range od {
+		if l.r.Bernoulli(l.p) {
+			l.mask[i] = 0
+			od[i] = 0
+		} else {
+			l.mask[i] = 1 / keep
+			od[i] *= 1 / keep
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (l *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.mask == nil {
+		return gradOut.Clone()
+	}
+	out := gradOut.Clone()
+	od := out.Data()
+	for i := range od {
+		od[i] *= l.mask[i]
+	}
+	return out
+}
+
+// Flatten reshapes (N, C, H, W)-style batches to (N, D). Because layers in
+// this package already carry batches as (N, volume), Flatten is a shape
+// bookkeeping no-op that exists to make model definitions read like their
+// paper counterparts.
+type Flatten struct {
+	name string
+}
+
+// NewFlatten builds a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name returns the layer name.
+func (l *Flatten) Name() string { return l.name }
+
+// Params returns nil.
+func (l *Flatten) Params() []*Param { return nil }
+
+// OutputShape collapses the per-sample shape to one axis.
+func (l *Flatten) OutputShape(in []int) []int {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}
+}
+
+// Clone returns an independent copy.
+func (l *Flatten) Clone() Layer { return &Flatten{name: l.name} }
+
+// Forward is the identity on the batched representation.
+func (l *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor { return x.Clone() }
+
+// Backward is the identity.
+func (l *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor { return gradOut.Clone() }

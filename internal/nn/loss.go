@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"reramtest/internal/tensor"
+)
+
+// Softmax converts a (N, n) batch of logits to row-wise probability
+// distributions, numerically stabilised by max subtraction.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n := logits.Dim(0)
+	k := logits.Len() / n
+	out := logits.Clone().Reshape(n, k)
+	od := out.Data()
+	for s := 0; s < n; s++ {
+		row := od[s*k : (s+1)*k]
+		softmaxRow(row)
+	}
+	return out
+}
+
+func softmaxRow(row []float64) {
+	m := math.Inf(-1)
+	for _, v := range row {
+		if v > m {
+			m = v
+		}
+	}
+	sum := 0.0
+	for i, v := range row {
+		e := math.Exp(v - m)
+		row[i] = e
+		sum += e
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+}
+
+// CrossEntropy computes the mean softmax cross-entropy of a (N, n) logit
+// batch against integer class labels, and the gradient with respect to the
+// logits: (softmax(z) - onehot(y)) / N.
+func CrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	n := logits.Dim(0)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: CrossEntropy got %d labels for batch of %d", len(labels), n))
+	}
+	k := logits.Len() / n
+	probs := Softmax(logits)
+	pd := probs.Data()
+	inv := 1 / float64(n)
+	for s, y := range labels {
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("nn: CrossEntropy label %d out of range [0,%d)", y, k))
+		}
+		p := pd[s*k+y]
+		loss -= math.Log(math.Max(p, 1e-300))
+		// grad = (p - onehot) / N, reusing the probability buffer
+		row := pd[s*k : (s+1)*k]
+		for j := range row {
+			row[j] *= inv
+		}
+		row[y] -= inv
+	}
+	return loss * inv, probs
+}
+
+// SoftCrossEntropy computes the mean cross-entropy of a (N, n) logit batch
+// against target probability distributions (same shape), and the gradient
+// with respect to the logits: (softmax(z) - target) / N. This is the loss
+// the O-TP generator minimises: the paper's Eq. 1 combines a uniform soft
+// label on the clean model with a hard label on the fault model, both of
+// which are instances of this loss.
+func SoftCrossEntropy(logits, target *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
+	if logits.Len() != target.Len() {
+		panic(fmt.Sprintf("nn: SoftCrossEntropy shape mismatch %v vs %v", logits.Shape(), target.Shape()))
+	}
+	n := logits.Dim(0)
+	probs := Softmax(logits)
+	pd, td := probs.Data(), target.Data()
+	inv := 1 / float64(n)
+	for i, p := range pd {
+		loss -= td[i] * math.Log(math.Max(p, 1e-300))
+		pd[i] = (p - td[i]) * inv
+	}
+	return loss * inv, probs
+}
+
+// MSE computes the mean squared error between prediction and target batches
+// and the gradient with respect to the prediction: 2(pred-target)/len.
+func MSE(pred, target *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
+	if pred.Len() != target.Len() {
+		panic(fmt.Sprintf("nn: MSE shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	grad = tensor.New(pred.Shape()...)
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	inv := 1 / float64(len(pd))
+	for i, v := range pd {
+		d := v - td[i]
+		loss += d * d
+		gd[i] = 2 * d * inv
+	}
+	return loss * inv, grad
+}
+
+// OneHot builds a (N, n) one-hot target batch from integer labels.
+func OneHot(labels []int, classes int) *tensor.Tensor {
+	out := tensor.New(len(labels), classes)
+	od := out.Data()
+	for s, y := range labels {
+		if y < 0 || y >= classes {
+			panic(fmt.Sprintf("nn: OneHot label %d out of range [0,%d)", y, classes))
+		}
+		od[s*classes+y] = 1
+	}
+	return out
+}
+
+// UniformLabels builds a (N, n) target batch where every class has equal
+// probability 1/n — the paper's "soft label with equal confidence" for the
+// clean model's O-TP constraint.
+func UniformLabels(n, classes int) *tensor.Tensor {
+	return tensor.Full(1/float64(classes), n, classes)
+}

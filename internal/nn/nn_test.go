@@ -1,0 +1,369 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		logits := tensor.Randn(rng.New(seed), 0, 5, 3, 7)
+		probs := Softmax(logits)
+		pd := probs.Data()
+		for s := 0; s < 3; s++ {
+			sum := 0.0
+			for j := 0; j < 7; j++ {
+				v := pd[s*7+j]
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	r := rng.New(1)
+	logits := tensor.Randn(r, 0, 1, 2, 5)
+	shifted := logits.Map(func(v float64) float64 { return v + 100 })
+	if !Softmax(logits).AllClose(Softmax(shifted), 1e-12) {
+		t.Fatal("softmax not invariant to constant shifts")
+	}
+}
+
+func TestSoftmaxLargeLogitsStable(t *testing.T) {
+	logits := tensor.FromSlice([]float64{1e4, 1e4 - 1, 0}, 1, 3)
+	probs := Softmax(logits)
+	for _, v := range probs.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax overflow: %v", probs.Data())
+		}
+	}
+	if probs.Data()[0] < probs.Data()[1] {
+		t.Fatal("softmax ordering broken")
+	}
+}
+
+func TestCrossEntropyPerfectPrediction(t *testing.T) {
+	// logits strongly favouring the right class → near-zero loss
+	logits := tensor.FromSlice([]float64{100, 0, 0}, 1, 3)
+	loss, _ := CrossEntropy(logits, []int{0})
+	if loss > 1e-6 {
+		t.Fatalf("confident correct prediction has loss %v", loss)
+	}
+}
+
+func TestCrossEntropyUniformPrediction(t *testing.T) {
+	logits := tensor.New(1, 4) // all-equal logits → uniform probs
+	loss, _ := CrossEntropy(logits, []int{2})
+	if math.Abs(loss-math.Log(4)) > 1e-12 {
+		t.Fatalf("uniform loss %v, want ln(4)=%v", loss, math.Log(4))
+	}
+}
+
+func TestCrossEntropyLabelRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range label did not panic")
+		}
+	}()
+	CrossEntropy(tensor.New(1, 3), []int{3})
+}
+
+func TestOneHot(t *testing.T) {
+	oh := OneHot([]int{2, 0}, 3)
+	want := []float64{0, 0, 1, 1, 0, 0}
+	for i, v := range oh.Data() {
+		if v != want[i] {
+			t.Fatalf("OneHot got %v", oh.Data())
+		}
+	}
+}
+
+func TestUniformLabels(t *testing.T) {
+	u := UniformLabels(2, 5)
+	for _, v := range u.Data() {
+		if v != 0.2 {
+			t.Fatalf("UniformLabels got %v", u.Data())
+		}
+	}
+}
+
+func TestNetworkCloneIndependence(t *testing.T) {
+	r := rng.New(3)
+	net := NewNetwork("n", 4, NewDense("fc", r, 4, 2))
+	clone := net.Clone()
+	clone.Params()[0].Value.Fill(0)
+	if net.Params()[0].Value.Sum() == 0 {
+		t.Fatal("clone shares weight storage with original")
+	}
+	x := tensor.Randn(r, 0, 1, 1, 4)
+	a := net.Forward(x)
+	b := clone.Forward(x)
+	if a.AllClose(b, 1e-9) {
+		t.Fatal("zeroed clone still produces original outputs")
+	}
+}
+
+func TestNetworkPredictMatchesArgmax(t *testing.T) {
+	r := rng.New(4)
+	net := NewNetwork("n", 6, NewDense("fc", r, 6, 3))
+	x := tensor.Randn(r, 0, 1, 5, 6)
+	logits := net.Forward(x)
+	preds := net.Predict(x)
+	for s := 0; s < 5; s++ {
+		row := tensor.FromSlice(logits.Data()[s*3:(s+1)*3], 3)
+		if preds[s] != row.ArgMax() {
+			t.Fatalf("Predict[%d]=%d, argmax=%d", s, preds[s], row.ArgMax())
+		}
+	}
+}
+
+func TestNetworkAccuracy(t *testing.T) {
+	// identity-ish network: logits = x, so argmax of x decides
+	r := rng.New(5)
+	net := NewNetwork("n", 3, NewFlatten("f"))
+	_ = r
+	x := tensor.FromSlice([]float64{
+		1, 0, 0,
+		0, 0, 1,
+		0, 1, 0,
+	}, 3, 3)
+	if acc := net.Accuracy(x, []int{0, 2, 1}, 2); acc != 1 {
+		t.Fatalf("accuracy %v, want 1", acc)
+	}
+	if acc := net.Accuracy(x, []int{1, 2, 1}, 2); math.Abs(acc-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy %v, want 2/3", acc)
+	}
+}
+
+func TestZeroGrad(t *testing.T) {
+	r := rng.New(6)
+	net := NewNetwork("n", 4, NewDense("fc", r, 4, 2))
+	x := tensor.Randn(r, 0, 1, 2, 4)
+	_, grad := CrossEntropy(net.Forward(x), []int{0, 1})
+	net.Backward(grad)
+	if net.Params()[0].Grad.L2Norm() == 0 {
+		t.Fatal("backward accumulated no gradient")
+	}
+	net.ZeroGrad()
+	for _, p := range net.Params() {
+		if p.Grad.L2Norm() != 0 {
+			t.Fatalf("ZeroGrad left %s non-zero", p.Name)
+		}
+	}
+}
+
+func TestDropoutTrainingVsInference(t *testing.T) {
+	r := rng.New(7)
+	l := NewDropout("do", r, 0.5)
+	x := tensor.Ones(1, 1000)
+
+	// inference: identity
+	out := l.Forward(x)
+	if !out.Equal(x) {
+		t.Fatal("inference dropout is not identity")
+	}
+
+	// training: ≈half dropped, survivors scaled by 2
+	l.SetTraining(true)
+	out = l.Forward(x)
+	zeros, twos := 0, 0
+	for _, v := range out.Data() {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("dropout output %v, want 0 or 2", v)
+		}
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Fatalf("dropout kept %d of 1000 at p=0.5", 1000-zeros)
+	}
+	// inverted scaling keeps the expectation ≈1
+	if mean := out.Mean(); math.Abs(mean-1) > 0.1 {
+		t.Fatalf("dropout mean %v, want ≈1", mean)
+	}
+}
+
+func TestDropoutBackwardUsesSameMask(t *testing.T) {
+	r := rng.New(8)
+	l := NewDropout("do", r, 0.5)
+	l.SetTraining(true)
+	x := tensor.Ones(1, 100)
+	out := l.Forward(x)
+	grad := l.Backward(tensor.Ones(1, 100))
+	for i, v := range out.Data() {
+		if (v == 0) != (grad.Data()[i] == 0) {
+			t.Fatal("backward mask differs from forward mask")
+		}
+	}
+}
+
+func TestMaxPoolKnownValues(t *testing.T) {
+	g := tensor.ConvGeom{InC: 1, InH: 2, InW: 2, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	l := NewMaxPool2D("p", g)
+	x := tensor.FromSlice([]float64{1, 7, 3, 5}, 1, 4)
+	out := l.Forward(x)
+	if out.Len() != 1 || out.Data()[0] != 7 {
+		t.Fatalf("maxpool got %v", out.Data())
+	}
+	grad := l.Backward(tensor.Ones(1, 1))
+	want := []float64{0, 1, 0, 0}
+	for i, v := range grad.Data() {
+		if v != want[i] {
+			t.Fatalf("maxpool grad %v", grad.Data())
+		}
+	}
+}
+
+func TestAvgPoolKnownValues(t *testing.T) {
+	g := tensor.ConvGeom{InC: 1, InH: 2, InW: 2, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	l := NewAvgPool2D("p", g)
+	x := tensor.FromSlice([]float64{1, 7, 3, 5}, 1, 4)
+	out := l.Forward(x)
+	if out.Data()[0] != 4 {
+		t.Fatalf("avgpool got %v", out.Data())
+	}
+}
+
+func TestConvKnownValues(t *testing.T) {
+	// 1×1 kernel with weight 2, bias 1: output = 2x + 1
+	r := rng.New(9)
+	g := tensor.ConvGeom{InC: 1, InH: 2, InW: 2, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	l := NewConv2D("c", r, g, 1)
+	l.Params()[0].Value.Fill(2)
+	l.Params()[1].Value.Fill(1)
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 4)
+	out := l.Forward(x)
+	want := []float64{3, 5, 7, 9}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("conv got %v", out.Data())
+		}
+	}
+}
+
+func TestOutputShapes(t *testing.T) {
+	r := rng.New(10)
+	g := tensor.ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	conv := NewConv2D("c", r, g, 16)
+	if s := conv.OutputShape(nil); s[0] != 16 || s[1] != 32 || s[2] != 32 {
+		t.Fatalf("conv OutputShape %v", s)
+	}
+	d := NewDense("d", r, 100, 10)
+	if s := d.OutputShape(nil); s[0] != 10 {
+		t.Fatalf("dense OutputShape %v", s)
+	}
+	f := NewFlatten("f")
+	if s := f.OutputShape([]int{4, 5, 6}); s[0] != 120 {
+		t.Fatalf("flatten OutputShape %v", s)
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	r := rng.New(11)
+	net := NewNetwork("n", 4, NewDense("fc1", r, 4, 3), NewReLU("r"), NewDense("fc2", r, 3, 2))
+	want := 4*3 + 3 + 3*2 + 2
+	if got := net.NumParams(); got != want {
+		t.Fatalf("NumParams=%d, want %d", got, want)
+	}
+}
+
+func TestBackwardBeforeForwardPanics(t *testing.T) {
+	r := rng.New(12)
+	l := NewDense("fc", r, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward before Forward did not panic")
+		}
+	}()
+	l.Backward(tensor.New(1, 2))
+}
+
+func TestForwardWrongWidthPanics(t *testing.T) {
+	r := rng.New(13)
+	net := NewNetwork("n", 4, NewDense("fc", r, 4, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input width did not panic")
+		}
+	}()
+	net.Forward(tensor.New(1, 5))
+}
+
+// TestBatchInvariance: running samples through a network one at a time must
+// produce exactly the rows of the batched forward pass — pooling, conv and
+// dense layers must not leak state across batch lanes.
+func TestBatchInvariance(t *testing.T) {
+	r := rng.New(20)
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	pool := tensor.ConvGeom{InC: 3, InH: 8, InW: 8, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	net := NewNetwork("bi", 64,
+		NewConv2D("c1", r, g, 3),
+		NewReLU("r1"),
+		NewMaxPool2D("p1", pool),
+		NewFlatten("f"),
+		NewDense("fc", r, 3*16, 5),
+	)
+	batch := tensor.RandUniform(r, 0, 1, 4, 64)
+	whole := net.Forward(batch)
+	for s := 0; s < 4; s++ {
+		single := tensor.FromSlice(batch.Data()[s*64:(s+1)*64], 1, 64)
+		got := net.Forward(single)
+		want := tensor.FromSlice(whole.Data()[s*5:(s+1)*5], 1, 5)
+		if !got.AllClose(want, 1e-12) {
+			t.Fatalf("sample %d differs between batched and single forward", s)
+		}
+	}
+}
+
+// TestGradientAccumulation: two backward passes without ZeroGrad must sum
+// gradients (the contract optimizers rely on for gradient accumulation).
+func TestGradientAccumulation(t *testing.T) {
+	r := rng.New(21)
+	net := NewNetwork("acc", 6, NewDense("fc", r, 6, 3))
+	x := tensor.RandUniform(r, 0, 1, 2, 6)
+	y := []int{0, 2}
+
+	_, g1 := CrossEntropy(net.Forward(x), y)
+	net.ZeroGrad()
+	net.Backward(g1)
+	once := net.Params()[0].Grad.Clone()
+
+	_, g2 := CrossEntropy(net.Forward(x), y)
+	net.Backward(g2) // no ZeroGrad: accumulate
+	twice := net.Params()[0].Grad
+	if !twice.AllClose(once.Scale(2), 1e-12) {
+		t.Fatal("gradients did not accumulate additively")
+	}
+}
+
+// TestSoftmaxPreservesOrdering: softmax must be strictly monotone in logits.
+func TestSoftmaxPreservesOrdering(t *testing.T) {
+	r := rng.New(22)
+	logits := tensor.Randn(r, 0, 2, 1, 8)
+	probs := Softmax(logits)
+	ld, pd := logits.Data(), probs.Data()
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if (ld[i] > ld[j]) != (pd[i] > pd[j]) {
+				t.Fatalf("softmax broke ordering between %d and %d", i, j)
+			}
+		}
+	}
+}

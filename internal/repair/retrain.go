@@ -1,0 +1,122 @@
+package repair
+
+import (
+	"fmt"
+	"io"
+
+	"reramtest/internal/dataset"
+	"reramtest/internal/nn"
+	"reramtest/internal/opt"
+	"reramtest/internal/rng"
+)
+
+// RetrainConfig controls fault-aware fine-tuning.
+type RetrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	Seed      int64
+	Log       io.Writer
+}
+
+// DefaultRetrainConfig returns a short fine-tuning schedule: repair is a
+// touch-up of an already-trained model, not training from scratch.
+func DefaultRetrainConfig() RetrainConfig {
+	return RetrainConfig{Epochs: 2, BatchSize: 32, LR: 0.005, Momentum: 0.9, Seed: 17}
+}
+
+// RetrainAround fine-tunes net's weights on train while keeping every
+// position marked in stuck frozen at its current (faulty) value — the
+// paper's fault-aware retraining repair [8]: the healthy weights learn to
+// compensate for the cells that cannot be fixed. net is modified in place;
+// the returned accuracy is measured on eval (or train when eval is nil).
+//
+// Positions absent from the mask (e.g. biases, which live in digital logic)
+// train normally.
+func RetrainAround(net *nn.Network, stuck StuckMask, train, eval *dataset.Dataset, cfg RetrainConfig) float64 {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	r := rng.New(cfg.Seed)
+	sgd := opt.NewSGD(net.Params(), cfg.LR, cfg.Momentum, 0)
+	restoreStuck := SnapshotStuck(net, stuck)
+	net.SetTraining(true)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		total, batches := 0.0, 0
+		for _, b := range train.Batches(cfg.BatchSize, r) {
+			logits := net.Forward(b.X)
+			loss, grad := nn.CrossEntropy(logits, b.Y)
+			net.ZeroGrad()
+			net.Backward(grad)
+			freezeStuckGradients(net, stuck)
+			sgd.Step()
+			restoreStuck() // momentum-proof: hold faulty cells exactly
+			total += loss
+			batches++
+		}
+		fmt.Fprintf(logw, "retrain epoch %d/%d: loss=%.4f\n", epoch+1, cfg.Epochs, total/float64(batches))
+	}
+	net.SetTraining(false)
+	if eval == nil {
+		eval = train
+	}
+	return net.Accuracy(eval.X, eval.Y, 64)
+}
+
+// freezeStuckGradients zeroes the gradient of every stuck position so the
+// optimizer never tries to move a weight the hardware cannot realise.
+func freezeStuckGradients(net *nn.Network, stuck StuckMask) {
+	for _, p := range net.Params() {
+		mask, ok := stuck[p.Name]
+		if !ok {
+			continue
+		}
+		g := p.Grad.Data()
+		for j, s := range mask {
+			if s {
+				g[j] = 0
+			}
+		}
+	}
+}
+
+// SnapshotStuck captures the current values at stuck positions and returns
+// a restore function that writes them back — called after every optimizer
+// step so that even momentum (whose velocity can move a weight after its
+// gradient is zeroed) cannot drift a frozen cell.
+func SnapshotStuck(net *nn.Network, stuck StuckMask) func() {
+	type frozen struct {
+		data []float64
+		idx  []int
+		vals []float64
+	}
+	var all []frozen
+	for _, p := range net.Params() {
+		mask, ok := stuck[p.Name]
+		if !ok {
+			continue
+		}
+		f := frozen{data: p.Value.Data()}
+		for j, s := range mask {
+			if s {
+				f.idx = append(f.idx, j)
+				f.vals = append(f.vals, f.data[j])
+			}
+		}
+		if len(f.idx) > 0 {
+			all = append(all, f)
+		}
+	}
+	return func() {
+		for _, f := range all {
+			for k, j := range f.idx {
+				f.data[j] = f.vals[k]
+			}
+		}
+	}
+}

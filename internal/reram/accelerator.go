@@ -1,0 +1,186 @@
+package reram
+
+import (
+	"fmt"
+
+	"reramtest/internal/nn"
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+// Accelerator maps every weight-bearing layer of a trained network onto
+// tiled ReRAM crossbars and executes inference on the simulated hardware.
+// Pooling, activations and biases run in digital peripheral logic, as in
+// ISAAC/PRIME-class designs.
+type Accelerator struct {
+	model   *nn.Network // digital skeleton (owns biases and digital layers)
+	cfg     Config
+	engines map[int]*TiledLinear // layer index → crossbar group
+	hours   float64
+}
+
+// NewAccelerator programs net's weights into crossbars. net itself is cloned;
+// later changes to net do not affect the accelerator.
+func NewAccelerator(net *nn.Network, cfg Config, seed int64) *Accelerator {
+	a := &Accelerator{model: net.Clone(), cfg: cfg, engines: make(map[int]*TiledLinear)}
+	r := rng.New(seed)
+	for li, layer := range a.model.Layers() {
+		switch l := layer.(type) {
+		case *nn.Conv2D:
+			a.engines[li] = MapLinear(l.Params()[0].Value, cfg, r.Split())
+		case *nn.Dense:
+			// Dense weights are stored (In, Out); crossbar mapping wants
+			// (Out, In) with inputs on word-lines.
+			a.engines[li] = MapLinear(tensor.Transpose2D(l.Params()[0].Value), cfg, r.Split())
+		}
+	}
+	return a
+}
+
+// Config returns the accelerator organisation.
+func (a *Accelerator) Config() Config { return a.cfg }
+
+// Hours returns the simulated in-field time elapsed.
+func (a *Accelerator) Hours() float64 { return a.hours }
+
+// TileCount returns the total number of crossbar arrays in the accelerator.
+func (a *Accelerator) TileCount() int {
+	n := 0
+	for _, e := range a.engines {
+		n += e.TileCount()
+	}
+	return n
+}
+
+// AdvanceTime ages every array by the given number of hours (drift and
+// soft-error accumulation).
+func (a *Accelerator) AdvanceTime(hours float64) {
+	a.hours += hours
+	for _, e := range a.engines {
+		e.AdvanceTime(hours)
+	}
+}
+
+// InjectStuckAt adds field stuck-at faults across all arrays.
+func (a *Accelerator) InjectStuckAt(p0, p1 float64) {
+	for _, e := range a.engines {
+		e.InjectStuckAt(p0, p1)
+	}
+}
+
+// Reprogram rewrites all arrays to their target conductances — the cheap
+// repair action a monitor triggers when drift (not hard faults) dominates.
+func (a *Accelerator) Reprogram() {
+	for _, e := range a.engines {
+		e.Reprogram()
+	}
+}
+
+// ProgramNetwork re-deploys a full set of weights onto the existing arrays —
+// the final step of the cloud-edge retraining repair. The source network
+// must have the same architecture the accelerator was built from. Stuck
+// cells ignore the write; healthy cells are reprogrammed (clearing drift and
+// soft errors along the way). Digital-side parameters (biases) are updated
+// too.
+func (a *Accelerator) ProgramNetwork(net *nn.Network) {
+	src := net.Params()
+	dst := a.model.Params()
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("reram: ProgramNetwork got %d params, accelerator has %d", len(src), len(dst)))
+	}
+	for i, p := range dst {
+		p.Value.CopyFrom(src[i].Value)
+	}
+	for li, layer := range a.model.Layers() {
+		e, ok := a.engines[li]
+		if !ok {
+			continue
+		}
+		switch layer.(type) {
+		case *nn.Conv2D:
+			e.ProgramWeights(layer.Params()[0].Value)
+		case *nn.Dense:
+			e.ProgramWeights(tensor.Transpose2D(layer.Params()[0].Value))
+		}
+	}
+}
+
+// ReadoutNetwork exports the current effective weights into a copy of the
+// model: the weight-level view of the hardware state. DAC/ADC quantization
+// is not represented (use Infer for the full analog path).
+func (a *Accelerator) ReadoutNetwork() *nn.Network {
+	net := a.model.Clone()
+	for li, layer := range net.Layers() {
+		e, ok := a.engines[li]
+		if !ok {
+			continue
+		}
+		w := e.EffectiveWeights()
+		switch layer.(type) {
+		case *nn.Conv2D:
+			layer.Params()[0].Value.CopyFrom(w)
+		case *nn.Dense:
+			layer.Params()[0].Value.CopyFrom(tensor.Transpose2D(w))
+		}
+	}
+	return net
+}
+
+// Infer runs a (N, D) batch through the full analog path: convolutions and
+// dense layers execute as crossbar MatVecs with DAC/ADC quantization;
+// everything else runs on the digital skeleton's layers. Returns logits.
+func (a *Accelerator) Infer(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	if x.Dim(1) != a.model.InDim() {
+		panic(fmt.Sprintf("reram: Infer input %v, want (N, %d)", x.Shape(), a.model.InDim()))
+	}
+	cur := x
+	for li, layer := range a.model.Layers() {
+		engine, mapped := a.engines[li]
+		if !mapped {
+			cur = layer.Forward(cur)
+			continue
+		}
+		switch l := layer.(type) {
+		case *nn.Dense:
+			out := tensor.New(n, l.Out())
+			od, bias := out.Data(), l.Params()[1].Value.Data()
+			cd := cur.Data()
+			for s := 0; s < n; s++ {
+				y := engine.MatVec(cd[s*l.In() : (s+1)*l.In()])
+				row := od[s*l.Out() : (s+1)*l.Out()]
+				for j := range row {
+					row[j] = y[j] + bias[j]
+				}
+			}
+			cur = out
+		case *nn.Conv2D:
+			g := l.Geom()
+			outH, outW := g.OutH(), g.OutW()
+			spatial := outH * outW
+			ckk := g.InC * g.KH * g.KW
+			inVol := g.InC * g.InH * g.InW
+			cols := tensor.New(ckk, spatial)
+			out := tensor.New(n, l.OutC()*spatial)
+			od, bias := out.Data(), l.Params()[1].Value.Data()
+			cd := cur.Data()
+			vec := make([]float64, ckk)
+			for s := 0; s < n; s++ {
+				sample := tensor.FromSlice(cd[s*inVol:(s+1)*inVol], inVol)
+				tensor.Im2Col(cols, sample, g)
+				colsD := cols.Data()
+				for p := 0; p < spatial; p++ {
+					for r := 0; r < ckk; r++ {
+						vec[r] = colsD[r*spatial+p]
+					}
+					y := engine.MatVec(vec)
+					for oc := 0; oc < l.OutC(); oc++ {
+						od[s*l.OutC()*spatial+oc*spatial+p] = y[oc] + bias[oc]
+					}
+				}
+			}
+			cur = out
+		}
+	}
+	return cur
+}

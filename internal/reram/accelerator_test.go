@@ -1,0 +1,162 @@
+package reram
+
+import (
+	"math"
+	"testing"
+
+	"reramtest/internal/models"
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+func idealConfig() Config {
+	return Config{TileRows: 64, TileCols: 64, DACBits: 0, ADCBits: 0, Device: idealParams()}
+}
+
+func TestAcceleratorReadoutMatchesDigital(t *testing.T) {
+	net := models.MLP(rng.New(1), 12, []int{10}, 4)
+	a := NewAccelerator(net, idealConfig(), 7)
+	x := tensor.RandUniform(rng.New(2), 0, 1, 3, 12)
+	want := net.Forward(x)
+	got := a.ReadoutNetwork().Forward(x)
+	if !got.AllClose(want, 1e-9) {
+		t.Fatal("ideal accelerator readout differs from digital network")
+	}
+}
+
+func TestAcceleratorInferMatchesDigitalIdeal(t *testing.T) {
+	net := models.MLP(rng.New(3), 12, []int{10}, 4)
+	a := NewAccelerator(net, idealConfig(), 8)
+	x := tensor.RandUniform(rng.New(4), 0, 1, 2, 12)
+	want := net.Forward(x)
+	got := a.Infer(x)
+	if !got.AllClose(want, 1e-9) {
+		t.Fatalf("ideal analog inference differs: %v vs %v", got.Data(), want.Data())
+	}
+}
+
+func TestAcceleratorInferConvNetwork(t *testing.T) {
+	net := models.LeNet5(rng.New(5))
+	a := NewAccelerator(net, idealConfig(), 9)
+	x := tensor.RandUniform(rng.New(6), 0, 1, 1, 784)
+	want := net.Forward(x)
+	got := a.Infer(x)
+	if !got.AllClose(want, 1e-6) {
+		t.Fatalf("conv analog inference max err %v", maxAbsDiff(got, want))
+	}
+}
+
+func TestAcceleratorQuantizedInferClose(t *testing.T) {
+	net := models.MLP(rng.New(7), 12, []int{10}, 4)
+	cfg := idealConfig()
+	cfg.DACBits, cfg.ADCBits = 8, 10
+	a := NewAccelerator(net, cfg, 10)
+	x := tensor.RandUniform(rng.New(8), 0, 1, 2, 12)
+	want := net.Forward(x)
+	got := a.Infer(x)
+	// quantization error must be small relative to the logit scale
+	scale := math.Max(1, want.Map(math.Abs).Max())
+	if maxAbsDiff(got, want) > 0.1*scale {
+		t.Fatalf("quantized inference error %v exceeds 10%% of scale %v", maxAbsDiff(got, want), scale)
+	}
+}
+
+func TestAcceleratorCloneSemantics(t *testing.T) {
+	net := models.MLP(rng.New(9), 8, nil, 3)
+	a := NewAccelerator(net, idealConfig(), 11)
+	// mutating the source network afterwards must not affect the accelerator
+	net.Params()[0].Value.Fill(0)
+	got := a.ReadoutNetwork().Params()[0].Value
+	if got.L2Norm() == 0 {
+		t.Fatal("accelerator shares weight storage with the source network")
+	}
+}
+
+func TestAcceleratorDriftDegradesThenReprogramRecovers(t *testing.T) {
+	net := models.MLP(rng.New(10), 10, []int{8}, 3)
+	cfg := idealConfig()
+	cfg.Device.DriftRate = 0.005
+	a := NewAccelerator(net, cfg, 12)
+	x := tensor.RandUniform(rng.New(11), 0, 1, 4, 10)
+	before := a.ReadoutNetwork().Forward(x)
+	a.AdvanceTime(500)
+	if a.Hours() != 500 {
+		t.Fatalf("Hours=%v", a.Hours())
+	}
+	drifted := a.ReadoutNetwork().Forward(x)
+	if drifted.AllClose(before, 1e-9) {
+		t.Fatal("drift had no effect on outputs")
+	}
+	a.Reprogram()
+	restored := a.ReadoutNetwork().Forward(x)
+	if !restored.AllClose(before, 1e-9) {
+		t.Fatal("reprogramming did not restore outputs")
+	}
+}
+
+func TestAcceleratorStuckAtDegrades(t *testing.T) {
+	net := models.MLP(rng.New(12), 10, []int{8}, 3)
+	a := NewAccelerator(net, idealConfig(), 13)
+	x := tensor.RandUniform(rng.New(13), 0, 1, 4, 10)
+	before := a.ReadoutNetwork().Forward(x)
+	a.InjectStuckAt(0.05, 0.05)
+	after := a.ReadoutNetwork().Forward(x)
+	if after.AllClose(before, 1e-9) {
+		t.Fatal("stuck-at faults had no effect")
+	}
+}
+
+func TestAcceleratorTileCount(t *testing.T) {
+	net := models.MLP(rng.New(14), 100, []int{80}, 10)
+	cfg := idealConfig() // 64×64 tiles
+	a := NewAccelerator(net, cfg, 14)
+	// fc1: 100×80 → 2×2 tiles ×2 polarity = 8; fc2: 80×10 → 2×1 ×2 = 4
+	if got := a.TileCount(); got != 12 {
+		t.Fatalf("TileCount=%d, want 12", got)
+	}
+}
+
+func TestProgramNetworkRedeploysWeights(t *testing.T) {
+	net := models.MLP(rng.New(20), 10, []int{8}, 3)
+	a := NewAccelerator(net, idealConfig(), 21)
+	x := tensor.RandUniform(rng.New(22), 0, 1, 2, 10)
+
+	// retrain stand-in: shift every weight, then redeploy
+	retrained := net.Clone()
+	for _, p := range retrained.Params() {
+		p.Value.ScaleInPlace(0.5)
+	}
+	a.ProgramNetwork(retrained)
+	want := retrained.Forward(x)
+	got := a.ReadoutNetwork().Forward(x)
+	if !got.AllClose(want, 1e-9) {
+		t.Fatal("redeployed accelerator does not match retrained network")
+	}
+	// Reprogram must now restore the NEW weights, not the originals
+	a.AdvanceTime(0)
+	a.Reprogram()
+	got = a.ReadoutNetwork().Forward(x)
+	if !got.AllClose(want, 1e-9) {
+		t.Fatal("reprogram after redeploy reverted to stale targets")
+	}
+}
+
+func TestProgramNetworkStuckCellsPersist(t *testing.T) {
+	net := models.MLP(rng.New(23), 10, []int{8}, 3)
+	a := NewAccelerator(net, idealConfig(), 24)
+	a.InjectStuckAt(0.1, 0.1)
+	before := a.ReadoutNetwork()
+	a.ProgramNetwork(net) // rewrite with the same weights
+	after := a.ReadoutNetwork()
+	// stuck positions must read identically before and after the write
+	for i, p := range before.Params() {
+		bd, ad := p.Value.Data(), after.Params()[i].Value.Data()
+		clean := net.Params()[i].Value.Data()
+		for j := range bd {
+			stuckish := bd[j] != clean[j]
+			if stuckish && bd[j] != ad[j] {
+				t.Fatalf("stuck cell %s[%d] changed across redeploy: %v -> %v", p.Name, j, bd[j], ad[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window over
+// a (C, H, W) input.
+type ConvGeom struct {
+	InC, InH, InW int // input channels / height / width
+	KH, KW        int // kernel height / width
+	StrideH       int
+	StrideW       int
+	PadH          int
+	PadW          int
+}
+
+// OutH returns the output height of the window sweep.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.PadH-g.KH)/g.StrideH + 1 }
+
+// OutW returns the output width of the window sweep.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.PadW-g.KW)/g.StrideW + 1 }
+
+// Validate reports an error for degenerate geometry.
+func (g ConvGeom) Validate() error {
+	switch {
+	case g.InC <= 0 || g.InH <= 0 || g.InW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive input dims %+v", g)
+	case g.KH <= 0 || g.KW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive kernel dims %+v", g)
+	case g.StrideH <= 0 || g.StrideW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive stride %+v", g)
+	case g.PadH < 0 || g.PadW < 0:
+		return fmt.Errorf("tensor: conv geometry has negative padding %+v", g)
+	case g.OutH() <= 0 || g.OutW() <= 0:
+		return fmt.Errorf("tensor: conv geometry produces empty output %+v", g)
+	}
+	return nil
+}
+
+// Im2Col expands a (C, H, W) input into a (C*KH*KW, OutH*OutW) matrix so a
+// convolution becomes a single matmul with the (OutC, C*KH*KW) kernel matrix.
+// dst must have exactly that shape; src must be (C, H, W) flattened.
+func Im2Col(dst, src *Tensor, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := outH * outW
+	rows := g.InC * g.KH * g.KW
+	if dst.Len() != rows*cols {
+		panic(fmt.Sprintf("tensor: Im2Col dst volume %d != %d", dst.Len(), rows*cols))
+	}
+	if src.Len() != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col src volume %d != %d", src.Len(), g.InC*g.InH*g.InW))
+	}
+	sd, dd := src.data, dst.data
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				drow := dd[row*cols : (row+1)*cols]
+				idx := 0
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH + kh - g.PadH
+					if ih < 0 || ih >= g.InH {
+						for ow := 0; ow < outW; ow++ {
+							drow[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := chanBase + ih*g.InW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW + kw - g.PadW
+						if iw < 0 || iw >= g.InW {
+							drow[idx] = 0
+						} else {
+							drow[idx] = sd[rowBase+iw]
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a (C*KH*KW, OutH*OutW) column
+// matrix back into a (C, H, W) image, accumulating where windows overlap.
+// dst is zeroed first.
+func Col2Im(dst, src *Tensor, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := outH * outW
+	rows := g.InC * g.KH * g.KW
+	if src.Len() != rows*cols {
+		panic(fmt.Sprintf("tensor: Col2Im src volume %d != %d", src.Len(), rows*cols))
+	}
+	if dst.Len() != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2Im dst volume %d != %d", dst.Len(), g.InC*g.InH*g.InW))
+	}
+	dst.Zero()
+	sd, dd := src.data, dst.data
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				srow := sd[row*cols : (row+1)*cols]
+				idx := 0
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH + kh - g.PadH
+					if ih < 0 || ih >= g.InH {
+						idx += outW
+						continue
+					}
+					rowBase := chanBase + ih*g.InW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW + kw - g.PadW
+						if iw >= 0 && iw < g.InW {
+							dd[rowBase+iw] += srow[idx]
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+}

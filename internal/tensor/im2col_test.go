@@ -1,0 +1,136 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"reramtest/internal/rng"
+)
+
+func TestConvGeomOutputDims(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 28, InW: 28, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}
+	if g.OutH() != 28 || g.OutW() != 28 {
+		t.Fatalf("same-padding 5x5: out %dx%d, want 28x28", g.OutH(), g.OutW())
+	}
+	g2 := ConvGeom{InC: 3, InH: 32, InW: 32, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	if g2.OutH() != 16 || g2.OutW() != 16 {
+		t.Fatalf("2x2 stride-2: out %dx%d, want 16x16", g2.OutH(), g2.OutW())
+	}
+}
+
+func TestConvGeomValidate(t *testing.T) {
+	good := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 2, KW: 2, StrideH: 1, StrideW: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	for _, bad := range []ConvGeom{
+		{InC: 0, InH: 4, InW: 4, KH: 2, KW: 2, StrideH: 1, StrideW: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 0, KW: 2, StrideH: 1, StrideW: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 2, KW: 2, StrideH: 0, StrideW: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 2, KW: 2, StrideH: 1, StrideW: 1, PadH: -1},
+		{InC: 1, InH: 2, InW: 2, KH: 5, KW: 5, StrideH: 1, StrideW: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("invalid geometry %+v accepted", bad)
+		}
+	}
+}
+
+func TestIm2Col1x1Identity(t *testing.T) {
+	// a 1×1 kernel's column matrix is just the image flattened per channel
+	g := ConvGeom{InC: 2, InH: 3, InW: 3, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	src := FromSlice([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18}, 18)
+	dst := New(2, 9)
+	Im2Col(dst, src, g)
+	if !dst.Reshape(18).Equal(src) {
+		t.Fatalf("1x1 im2col is not identity: %v", dst.Data())
+	}
+}
+
+func TestIm2ColKnownWindow(t *testing.T) {
+	// 2×2 kernel over a 3×3 single-channel image, stride 1, no padding
+	g := ConvGeom{InC: 1, InH: 3, InW: 3, KH: 2, KW: 2, StrideH: 1, StrideW: 1}
+	src := FromSlice([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9}, 9)
+	dst := New(4, 4)
+	Im2Col(dst, src, g)
+	// column p corresponds to output position p; row r to kernel offset r
+	want := [][]float64{
+		{1, 2, 4, 5}, // kernel (0,0)
+		{2, 3, 5, 6}, // kernel (0,1)
+		{4, 5, 7, 8}, // kernel (1,0)
+		{5, 6, 8, 9}, // kernel (1,1)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if dst.At(r, c) != want[r][c] {
+				t.Fatalf("im2col[%d][%d]=%v, want %v", r, c, dst.At(r, c), want[r][c])
+			}
+		}
+	}
+}
+
+func TestIm2ColZeroPadding(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 2, InW: 2, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	src := FromSlice([]float64{1, 2, 3, 4}, 4)
+	dst := New(9, 4)
+	Im2Col(dst, src, g)
+	// top-left output position, kernel offset (0,0) looks at (-1,-1): padded 0
+	if dst.At(0, 0) != 0 {
+		t.Fatalf("padded region not zero: %v", dst.At(0, 0))
+	}
+	// centre of kernel at output (0,0) is input (0,0) = 1
+	if dst.At(4, 0) != 1 {
+		t.Fatalf("kernel centre wrong: %v", dst.At(4, 0))
+	}
+}
+
+// TestCol2ImAdjoint verifies the defining property of the adjoint:
+// ⟨Im2Col(x), y⟩ = ⟨x, Col2Im(y)⟩ for all x, y.
+func TestCol2ImAdjoint(t *testing.T) {
+	geoms := []ConvGeom{
+		{InC: 1, InH: 5, InW: 5, KH: 3, KW: 3, StrideH: 1, StrideW: 1},
+		{InC: 2, InH: 6, InW: 4, KH: 2, KW: 2, StrideH: 2, StrideW: 2},
+		{InC: 3, InH: 5, InW: 5, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+	}
+	for gi, g := range geoms {
+		err := quick.Check(func(seed int64) bool {
+			r := rng.New(seed)
+			rows := g.InC * g.KH * g.KW
+			cols := g.OutH() * g.OutW()
+			x := RandUniform(r, -1, 1, g.InC*g.InH*g.InW)
+			y := RandUniform(r, -1, 1, rows*cols)
+			ix := New(rows, cols)
+			Im2Col(ix, x, g)
+			cy := New(g.InC * g.InH * g.InW)
+			Col2Im(cy, y.Reshape(rows, cols), g)
+			return math.Abs(dot(ix.Data(), y.Data())-dot(x.Data(), cy.Data())) < 1e-9
+		}, &quick.Config{MaxCount: 20})
+		if err != nil {
+			t.Errorf("geometry %d: %v", gi, err)
+		}
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func TestCol2ImAccumulatesOverlaps(t *testing.T) {
+	// 2×2 kernel stride 1 over 3×3: centre pixel (1,1) is covered by all 4
+	// windows, so scattering all-ones columns back accumulates 4 there.
+	g := ConvGeom{InC: 1, InH: 3, InW: 3, KH: 2, KW: 2, StrideH: 1, StrideW: 1}
+	cols := Ones(4, 4)
+	img := New(9)
+	Col2Im(img, cols, g)
+	if img.Data()[4] != 4 {
+		t.Fatalf("centre accumulation %v, want 4", img.Data()[4])
+	}
+	if img.Data()[0] != 1 {
+		t.Fatalf("corner accumulation %v, want 1", img.Data()[0])
+	}
+}

@@ -1,0 +1,137 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes the matrix product a·b for rank-2 tensors and returns a new
+// (m×n) tensor. It panics if the inner dimensions disagree.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := mustMatrix("MatMul lhs", a)
+	k2, n := mustMatrix("MatMul rhs", b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a·b, reusing dst's storage. dst must be m×n.
+//
+// The kernel iterates in (i, k, j) order so the inner loop walks both b and
+// dst contiguously — on a single core this is the difference between the
+// training loop being usable and not.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := mustMatrix("MatMulInto lhs", a)
+	k2, n := mustMatrix("MatMulInto rhs", b)
+	dm, dn := mustMatrix("MatMulInto dst", dst)
+	if k != k2 || dm != m || dn != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst%v = %v x %v", dst.shape, a.shape, b.shape))
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	for i := 0; i < m; i++ {
+		drow := dd[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		arow := ad[i*k : (i+1)*k]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransBInto computes dst = a·bᵀ where a is m×k and b is n×k.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k := mustMatrix("MatMulTransBInto lhs", a)
+	n, k2 := mustMatrix("MatMulTransBInto rhs", b)
+	dm, dn := mustMatrix("MatMulTransBInto dst", dst)
+	if k != k2 || dm != m || dn != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch dst%v = %v x %vᵀ", dst.shape, a.shape, b.shape))
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		drow := dd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// MatMulTransAInto computes dst = aᵀ·b where a is k×m and b is k×n.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	k, m := mustMatrix("MatMulTransAInto lhs", a)
+	k2, n := mustMatrix("MatMulTransAInto rhs", b)
+	dm, dn := mustMatrix("MatMulTransAInto dst", dst)
+	if k != k2 || dm != m || dn != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch dst%v = %vᵀ x %v", dst.shape, a.shape, b.shape))
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	for i := range dd {
+		dd[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		arow := ad[p*m : (p+1)*m]
+		brow := bd[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dd[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatVec computes the matrix-vector product a·x for a rank-2 (m×k) tensor and
+// a length-k vector, returning a length-m vector. This is the operation a
+// ReRAM crossbar performs in the analog domain.
+func MatVec(a *Tensor, x []float64) []float64 {
+	m, k := mustMatrix("MatVec lhs", a)
+	if len(x) != k {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v x vec(%d)", a.shape, len(x)))
+	}
+	out := make([]float64, m)
+	ad := a.data
+	for i := 0; i < m; i++ {
+		row := ad[i*k : (i+1)*k]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor as a new tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	m, n := mustMatrix("Transpose2D", a)
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+func mustMatrix(op string, t *Tensor) (rows, cols int) {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires a rank-2 tensor, got shape %v", op, t.shape))
+	}
+	return t.shape[0], t.shape[1]
+}

@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"reramtest/internal/rng"
+)
+
+// naiveMatMul is the reference implementation the optimised kernels are
+// checked against.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out
+}
+
+func TestMatMulKnownValues(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	got := MatMul(a, b)
+	want := FromSlice([]float64{19, 22, 43, 50}, 2, 2)
+	if !got.Equal(want) {
+		t.Fatalf("MatMul got %v", got.Data())
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {7, 2, 9}, {16, 16, 16}, {5, 31, 2}} {
+		a := Randn(r, 0, 1, dims[0], dims[1])
+		b := Randn(r, 0, 1, dims[1], dims[2])
+		if got, want := MatMul(a, b), naiveMatMul(a, b); !got.AllClose(want, 1e-10) {
+			t.Fatalf("MatMul mismatch at dims %v", dims)
+		}
+	}
+}
+
+func TestMatMulInnerMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inner-dim mismatch did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestMatMulTransB(t *testing.T) {
+	r := rng.New(2)
+	a := Randn(r, 0, 1, 4, 6)
+	b := Randn(r, 0, 1, 5, 6) // b is (n, k): a·bᵀ is (4, 5)
+	got := New(4, 5)
+	MatMulTransBInto(got, a, b)
+	want := naiveMatMul(a, Transpose2D(b))
+	if !got.AllClose(want, 1e-10) {
+		t.Fatal("MatMulTransBInto mismatch")
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	r := rng.New(3)
+	a := Randn(r, 0, 1, 6, 4) // a is (k, m): aᵀ·b is (4, 5)
+	b := Randn(r, 0, 1, 6, 5)
+	got := New(4, 5)
+	MatMulTransAInto(got, a, b)
+	want := naiveMatMul(Transpose2D(a), b)
+	if !got.AllClose(want, 1e-10) {
+		t.Fatal("MatMulTransAInto mismatch")
+	}
+}
+
+func TestMatVecMatchesMatMul(t *testing.T) {
+	r := rng.New(4)
+	a := Randn(r, 0, 1, 7, 9)
+	x := Randn(r, 0, 1, 9).Data()
+	got := MatVec(a, x)
+	want := MatMul(a, FromSlice(append([]float64(nil), x...), 9, 1))
+	for i, v := range got {
+		if math.Abs(v-want.At(i, 0)) > 1e-10 {
+			t.Fatalf("MatVec[%d]=%v want %v", i, v, want.At(i, 0))
+		}
+	}
+}
+
+func TestTranspose2DInvolution(t *testing.T) {
+	r := rng.New(5)
+	a := Randn(r, 0, 1, 3, 8)
+	if !Transpose2D(Transpose2D(a)).Equal(a) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestMatMulIntoReuse(t *testing.T) {
+	r := rng.New(6)
+	a := Randn(r, 0, 1, 3, 3)
+	b := Randn(r, 0, 1, 3, 3)
+	dst := Full(123, 3, 3) // pre-filled garbage must be overwritten
+	MatMulInto(dst, a, b)
+	if !dst.AllClose(naiveMatMul(a, b), 1e-10) {
+		t.Fatal("MatMulInto did not overwrite destination")
+	}
+}
+
+// Property: (A·B)·x == A·(B·x) — associativity of the kernels via MatVec.
+func TestMatMulAssociativityProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		a := Randn(r, 0, 1, 4, 5)
+		b := Randn(r, 0, 1, 5, 6)
+		x := Randn(r, 0, 1, 6).Data()
+		left := MatVec(MatMul(a, b), x)
+		right := MatVec(a, MatVec(b, x))
+		for i := range left {
+			if math.Abs(left[i]-right[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matmul distributes over addition: A·(B+C) == A·B + A·C.
+func TestMatMulDistributivityProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		a := Randn(r, 0, 1, 3, 4)
+		b := Randn(r, 0, 1, 4, 5)
+		c := Randn(r, 0, 1, 4, 5)
+		left := MatMul(a, b.Add(c))
+		right := MatMul(a, b).Add(MatMul(a, c))
+		return left.AllClose(right, 1e-9)
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	r := rng.New(1)
+	x := Randn(r, 0, 1, 64, 64)
+	y := Randn(r, 0, 1, 64, 64)
+	dst := New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMatVec128(b *testing.B) {
+	r := rng.New(1)
+	a := Randn(r, 0, 1, 128, 128)
+	x := Randn(r, 0, 1, 128).Data()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVec(a, x)
+	}
+}

@@ -1,0 +1,368 @@
+// Package tensor implements the dense numeric arrays that every other layer
+// of the reproduction is built on: the neural-network layers, the ReRAM
+// crossbar simulator, the fault injectors and the test-pattern generators all
+// operate on tensor.Tensor values.
+//
+// Tensors are row-major float64 arrays with an explicit shape. The package
+// deliberately keeps the surface small and allocation behaviour predictable:
+// hot paths (matmul, im2col) take destination buffers so the training loop
+// can reuse memory.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"reramtest/internal/rng"
+)
+
+// Tensor is a dense, row-major, float64 n-dimensional array.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New allocates a zero-filled tensor with the given shape. A zero-dimensional
+// tensor (no axes) holds a single scalar.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); len(data) must equal the shape volume.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (volume %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor of the given shape filled with 1.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// Randn returns a tensor filled with Gaussian samples drawn from r.
+func Randn(r *rng.RNG, mean, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	r.FillNormal(t.data, mean, std)
+	return t
+}
+
+// RandUniform returns a tensor filled with uniform samples in [lo, hi).
+func RandUniform(r *rng.RNG, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	r.FillUniform(t.data, lo, hi)
+	return t
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the backing slice in row-major order. Mutating it mutates the
+// tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// offset computes the row-major linear index of idx.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match rank-%d shape %v", idx, len(t.shape), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set writes the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal volume.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.data) != len(src.data) {
+		panic(fmt.Sprintf("tensor: CopyFrom volume mismatch %v vs %v", t.shape, src.shape))
+	}
+	copy(t.data, src.data)
+}
+
+// Reshape returns a view sharing t's data with a new shape of equal volume.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (volume %d) to %v (volume %d)", t.shape, len(t.data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// AddInPlace adds o element-wise into t.
+func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
+	checkSameVolume("AddInPlace", t, o)
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+	return t
+}
+
+// SubInPlace subtracts o element-wise from t.
+func (t *Tensor) SubInPlace(o *Tensor) *Tensor {
+	checkSameVolume("SubInPlace", t, o)
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+	return t
+}
+
+// MulInPlace multiplies t element-wise by o (Hadamard product).
+func (t *Tensor) MulInPlace(o *Tensor) *Tensor {
+	checkSameVolume("MulInPlace", t, o)
+	for i, v := range o.data {
+		t.data[i] *= v
+	}
+	return t
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float64) *Tensor {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+	return t
+}
+
+// AxpyInPlace performs t += alpha * o.
+func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) *Tensor {
+	checkSameVolume("AxpyInPlace", t, o)
+	for i, v := range o.data {
+		t.data[i] += alpha * v
+	}
+	return t
+}
+
+// Add returns t + o as a new tensor.
+func (t *Tensor) Add(o *Tensor) *Tensor { return t.Clone().AddInPlace(o) }
+
+// Sub returns t - o as a new tensor.
+func (t *Tensor) Sub(o *Tensor) *Tensor { return t.Clone().SubInPlace(o) }
+
+// Mul returns the Hadamard product t ⊙ o as a new tensor.
+func (t *Tensor) Mul(o *Tensor) *Tensor { return t.Clone().MulInPlace(o) }
+
+// Scale returns s·t as a new tensor.
+func (t *Tensor) Scale(s float64) *Tensor { return t.Clone().ScaleInPlace(s) }
+
+// Apply replaces every element x with f(x).
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+	return t
+}
+
+// Map returns a new tensor with f applied element-wise.
+func (t *Tensor) Map(f func(float64) float64) *Tensor {
+	return t.Clone().Apply(f)
+}
+
+// ClampInPlace limits every element to [lo, hi].
+func (t *Tensor) ClampInPlace(lo, hi float64) *Tensor {
+	for i, v := range t.data {
+		if v < lo {
+			t.data[i] = lo
+		} else if v > hi {
+			t.data[i] = hi
+		}
+	}
+	return t
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Std returns the population standard deviation of all elements.
+func (t *Tensor) Std() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	m := t.Mean()
+	s := 0.0
+	for _, v := range t.data {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(t.data)))
+}
+
+// Min returns the smallest element.
+func (t *Tensor) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range t.data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest element.
+func (t *Tensor) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range t.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the linear index of the largest element (first on ties).
+func (t *Tensor) ArgMax() int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// L1Dist returns the mean absolute difference between t and o.
+func (t *Tensor) L1Dist(o *Tensor) float64 {
+	checkSameVolume("L1Dist", t, o)
+	s := 0.0
+	for i, v := range t.data {
+		s += math.Abs(v - o.data[i])
+	}
+	return s / float64(len(t.data))
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Equal reports whether t and o have identical shapes and elements.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !sameShape(t.shape, o.shape) {
+		return false
+	}
+	for i, v := range t.data {
+		if v != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether t and o have identical shapes and elements within
+// absolute tolerance tol.
+func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
+	if !sameShape(t.shape, o.shape) {
+		return false
+	}
+	for i, v := range t.data {
+		if math.Abs(v-o.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, not the full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkSameVolume(op string, a, b *Tensor) {
+	if len(a.data) != len(b.data) {
+		panic(fmt.Sprintf("tensor: %s volume mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}

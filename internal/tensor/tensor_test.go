@@ -1,0 +1,272 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"reramtest/internal/rng"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len=%d, want 24", x.Len())
+	}
+	if x.Rank() != 3 {
+		t.Fatalf("Rank=%d, want 3", x.Rank())
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("New tensor not zero-filled")
+		}
+	}
+}
+
+func TestScalarTensor(t *testing.T) {
+	x := New()
+	if x.Len() != 1 {
+		t.Fatalf("scalar tensor Len=%d, want 1", x.Len())
+	}
+	x.Set(5)
+	if x.At() != 5 {
+		t.Fatalf("scalar At=%v, want 5", x.At())
+	}
+}
+
+func TestAtSetRowMajor(t *testing.T) {
+	x := New(2, 3)
+	x.Set(7, 1, 2)
+	if x.Data()[5] != 7 {
+		t.Fatal("Set(1,2) did not write row-major offset 5")
+	}
+	if x.At(1, 2) != 7 {
+		t.Fatal("At(1,2) did not read back the value")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSliceSharesData(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	d[0] = 9
+	if x.At(0, 0) != 9 {
+		t.Fatal("FromSlice copied instead of wrapping")
+	}
+}
+
+func TestFromSliceVolumeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice volume mismatch did not panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3}, 3)
+	y := x.Clone()
+	y.Data()[0] = 99
+	if x.Data()[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestReshapeView(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	y.Set(99, 0, 0)
+	if x.At(0, 0) != 99 {
+		t.Fatal("Reshape did not alias storage")
+	}
+	if y.Dim(0) != 3 || y.Dim(1) != 2 {
+		t.Fatal("Reshape wrong shape")
+	}
+}
+
+func TestReshapeBadVolumePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad reshape did not panic")
+		}
+	}()
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestArithmetic(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{10, 20, 30}, 3)
+	if got := a.Add(b).Data(); got[2] != 33 {
+		t.Fatalf("Add wrong: %v", got)
+	}
+	if got := b.Sub(a).Data(); got[0] != 9 {
+		t.Fatalf("Sub wrong: %v", got)
+	}
+	if got := a.Mul(b).Data(); got[1] != 40 {
+		t.Fatalf("Mul wrong: %v", got)
+	}
+	if got := a.Scale(2).Data(); got[2] != 6 {
+		t.Fatalf("Scale wrong: %v", got)
+	}
+	// originals untouched
+	if a.Data()[0] != 1 || b.Data()[0] != 10 {
+		t.Fatal("non-inplace ops mutated operands")
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	a := FromSlice([]float64{1, 1}, 2)
+	b := FromSlice([]float64{2, 3}, 2)
+	a.AxpyInPlace(0.5, b)
+	if a.Data()[0] != 2 || a.Data()[1] != 2.5 {
+		t.Fatalf("Axpy wrong: %v", a.Data())
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 4)
+	if x.Sum() != 10 {
+		t.Fatalf("Sum=%v", x.Sum())
+	}
+	if x.Mean() != 2.5 {
+		t.Fatalf("Mean=%v", x.Mean())
+	}
+	if x.Min() != 1 || x.Max() != 4 {
+		t.Fatalf("Min/Max=%v/%v", x.Min(), x.Max())
+	}
+	wantStd := math.Sqrt(1.25)
+	if math.Abs(x.Std()-wantStd) > 1e-12 {
+		t.Fatalf("Std=%v want %v", x.Std(), wantStd)
+	}
+}
+
+func TestArgMaxFirstOnTies(t *testing.T) {
+	x := FromSlice([]float64{1, 5, 5, 2}, 4)
+	if x.ArgMax() != 1 {
+		t.Fatalf("ArgMax=%d, want 1", x.ArgMax())
+	}
+}
+
+func TestClamp(t *testing.T) {
+	x := FromSlice([]float64{-2, 0.5, 3}, 3)
+	x.ClampInPlace(0, 1)
+	want := []float64{0, 0.5, 1}
+	for i, v := range x.Data() {
+		if v != want[i] {
+			t.Fatalf("Clamp got %v", x.Data())
+		}
+	}
+}
+
+func TestL1DistAndL2Norm(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{3, 0}, 2)
+	if got := a.L1Dist(b); got != 2 {
+		t.Fatalf("L1Dist=%v, want 2 (mean of |Δ|=2,2)", got)
+	}
+	if got := FromSlice([]float64{3, 4}, 2).L2Norm(); got != 5 {
+		t.Fatalf("L2Norm=%v, want 5", got)
+	}
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{1, 2.0000001}, 2)
+	if a.Equal(b) {
+		t.Fatal("Equal ignored tiny difference")
+	}
+	if !a.AllClose(b, 1e-5) {
+		t.Fatal("AllClose rejected within-tolerance difference")
+	}
+	if a.Equal(FromSlice([]float64{1, 2}, 1, 2)) {
+		t.Fatal("Equal ignored shape difference")
+	}
+}
+
+func TestApplyAndMap(t *testing.T) {
+	a := FromSlice([]float64{1, 4, 9}, 3)
+	m := a.Map(math.Sqrt)
+	if m.Data()[2] != 3 {
+		t.Fatalf("Map wrong: %v", m.Data())
+	}
+	if a.Data()[2] != 9 {
+		t.Fatal("Map mutated original")
+	}
+	a.Apply(func(v float64) float64 { return -v })
+	if a.Data()[0] != -1 {
+		t.Fatal("Apply did not mutate in place")
+	}
+}
+
+func TestRandnShapeAndSpread(t *testing.T) {
+	r := rng.New(5)
+	x := Randn(r, 0, 1, 100, 10)
+	if x.Dim(0) != 100 || x.Dim(1) != 10 {
+		t.Fatalf("Randn shape %v", x.Shape())
+	}
+	if s := x.Std(); s < 0.9 || s > 1.1 {
+		t.Fatalf("Randn std %v, want ≈1", s)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(2, 2)
+	b := FromSlice([]float64{1, 2, 3, 4}, 4)
+	a.CopyFrom(b)
+	if a.At(1, 1) != 4 {
+		t.Fatal("CopyFrom did not copy data")
+	}
+}
+
+// Property: Sum is linear — Sum(a·s) = s·Sum(a).
+func TestSumLinearityProperty(t *testing.T) {
+	err := quick.Check(func(seed int64, sRaw int8) bool {
+		s := float64(sRaw) / 16
+		x := RandUniform(rng.New(seed), -1, 1, 17)
+		want := x.Sum() * s
+		got := x.Scale(s).Sum()
+		return math.Abs(want-got) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clamp is idempotent and bounded.
+func TestClampProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		x := RandUniform(rng.New(seed), -3, 3, 64)
+		x.ClampInPlace(-1, 1)
+		once := x.Clone()
+		x.ClampInPlace(-1, 1)
+		if !x.Equal(once) {
+			return false
+		}
+		return x.Min() >= -1 && x.Max() <= 1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Std is translation-invariant.
+func TestStdTranslationInvariance(t *testing.T) {
+	err := quick.Check(func(seed int64, shiftRaw int8) bool {
+		shift := float64(shiftRaw)
+		x := RandUniform(rng.New(seed), 0, 1, 33)
+		y := x.Map(func(v float64) float64 { return v + shift })
+		return math.Abs(x.Std()-y.Std()) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
