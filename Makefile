@@ -1,0 +1,43 @@
+# Tier-1 gate: everything `make check` runs must stay green.
+#
+#   make check   vet + build + full test suite + race detector on the
+#                hardened-runtime packages + a short campaign soak smoke
+#   make race    race detector over the whole tree (slow: retrains models
+#                under the race runtime)
+#   make soak    the full 20-campaign acceptance soak with scorecard
+
+GO ?= go
+
+# The packages with concurrency-sensitive or newly hardened logic; raced on
+# every check. `make race` covers the rest.
+RACE_PKGS = ./internal/health/... ./internal/campaign/... ./internal/monitor/... \
+            ./internal/detect/... ./internal/stats/... ./internal/repair/...
+
+.PHONY: check vet build test race-fast race soak-smoke soak
+
+check: vet build test race-fast soak-smoke
+	@echo "check: PASS"
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race-fast:
+	$(GO) test -race $(RACE_PKGS)
+
+# internal/experiments retrains models and renders every figure; under the
+# race runtime that exceeds go test's default 10m binary timeout
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# short-budget smoke: fewer campaigns than the acceptance gate, same scoring
+soak-smoke:
+	$(GO) run ./cmd/monitor -soak -campaigns 6
+
+soak:
+	$(GO) run ./cmd/monitor -soak -campaigns 20

@@ -12,6 +12,10 @@
 // every weight decays multiplicatively) — a fault class that O-TP's
 // uniform-golden SDC-A criterion is structurally blind to. O-TP remains the
 // better accuracy estimator; this demo trades that for drift coverage.
+//
+// With -soak the command instead runs the randomized fault-injection
+// campaign harness against the hardened runtime and reports the robustness
+// scorecard, exiting non-zero if the acceptance gate fails.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"reramtest/internal/campaign"
 	"reramtest/internal/experiments"
 	"reramtest/internal/monitor"
 	"reramtest/internal/nn"
@@ -30,7 +35,16 @@ func main() {
 	hoursPerStep := flag.Float64("step", 200, "simulated hours between checks")
 	steps := flag.Int("steps", 8, "number of monitoring rounds")
 	analog := flag.Bool("analog", false, "run checks through the full DAC/ADC analog path (slower)")
+	soak := flag.Bool("soak", false, "run the randomized fault-injection soak campaigns instead of the demo")
+	campaigns := flag.Int("campaigns", 20, "soak: number of seeded campaigns")
+	rounds := flag.Int("rounds", 40, "soak: monitoring rounds per campaign")
+	seed := flag.Int64("seed", 1000, "soak: base seed (campaign i uses seed+i)")
+	minRecovery := flag.Float64("min-recovery", 0.8, "soak: gate threshold on repair-recovery rate")
 	flag.Parse()
+
+	if *soak {
+		os.Exit(runSoak(*seed, *campaigns, *rounds, *minRecovery))
+	}
 
 	env, err := experiments.NewEnv(experiments.DefaultScale(), os.Stderr)
 	if err != nil {
@@ -57,7 +71,11 @@ func main() {
 	fmt.Printf("accelerator: %d crossbar tiles of %dx%d, DAC=%d-bit ADC=%d-bit\n",
 		accel.TileCount(), cfg.TileRows, cfg.TileCols, cfg.DACBits, cfg.ADCBits)
 
-	mon := monitor.New(net, patterns, calib, monitor.DefaultConfig())
+	mon, err := monitor.New(net, patterns, calib, monitor.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "monitor:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("monitor armed with %d C-TP patterns\n\n", mon.PatternCount())
 
 	infer := func() monitor.Infer {
@@ -92,4 +110,27 @@ func main() {
 	}
 	slope, summary := mon.Trend()
 	fmt.Printf("\ndistance trend: slope=%.5f per round, %s\n", slope, summary)
+}
+
+// runSoak executes the seeded campaign fleet and prints the scorecard.
+// Returns the process exit code: 0 when the acceptance gate holds.
+func runSoak(seed int64, campaigns, rounds int, minRecovery float64) int {
+	cfg := campaign.DefaultConfig()
+	cfg.Rounds = rounds
+	fmt.Printf("soak: %d campaigns × %d rounds, base seed %d\n", campaigns, rounds, seed)
+	fmt.Printf("plant: MLP %d→%v→%d on %d×%d crossbar tiles\n",
+		cfg.Plant.In, cfg.Plant.Hidden, cfg.Plant.Classes, cfg.Plant.Tile, cfg.Plant.Tile)
+	results, err := campaign.RunMany(seed, campaigns, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		return 1
+	}
+	sc := campaign.Score(results, cfg.FidelityBudget)
+	fmt.Printf("\n%s\n", sc)
+	if err := sc.Gate(minRecovery); err != nil {
+		fmt.Fprintln(os.Stderr, "\nGATE FAILED:", err)
+		return 1
+	}
+	fmt.Println("\ngate: PASS")
+	return 0
 }

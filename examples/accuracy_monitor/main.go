@@ -30,7 +30,7 @@ func main() {
 	for i := range dist {
 		calib[i] = monitor.CalibPoint{Distance: dist[i], Accuracy: acc[i]}
 	}
-	mon := monitor.New(net, env.PatternsDefault("lenet5", "otp"), calib, monitor.DefaultConfig())
+	mon := monitor.MustNew(net, env.PatternsDefault("lenet5", "otp"), calib, monitor.DefaultConfig())
 	fmt.Printf("monitor calibrated with %d points, armed with %d patterns\n\n", len(calib), mon.PatternCount())
 
 	eval := test.Head(500)

@@ -1,22 +1,29 @@
-// Self-healing: the complete closed loop the paper motivates — a simulated
-// ReRAM accelerator degrades in the field, the concurrent-test monitor
-// classifies the damage, the repair planner picks the cheapest adequate
-// mechanism, and the repair executes:
+// Self-healing: the complete closed loop the paper motivates, run through
+// the hardened runtime — a simulated ReRAM accelerator degrades in the
+// field, health.Runtime debounces the concurrent-test evidence (one noisy
+// round never flaps the confirmed status), rejects poisoned readouts (a NaN
+// confidence is retried and, failing that, reported as a sensor fault — never
+// as Healthy), and drives the supervised detect→repair→verify loop:
 //
-//	drift          → detected as DEGRADED  → crossbar reprogramming
-//	stuck-at burst → detected as IMPAIRED  → stuck-cell diagnosis +
-//	                                         fault-aware retraining
+//	drift          → confirmed DEGRADED → crossbar reprogramming → verified
+//	stuck-at burst → confirmed IMPAIRED → stuck-cell diagnosis +
+//	                                      fault-aware retraining
 //
-// After each repair the loop verifies recovery on real data.
+// Each repair is verified with fresh concurrent-test rounds before the
+// runtime declares recovery; a verification failure escalates to the next
+// costlier mechanism (reprogram → retrain → replace) instead of declaring
+// victory open-loop.
 //
 //	go run ./examples/self_healing
 package main
 
 import (
 	"fmt"
+	"math"
 	"os"
 
 	"reramtest/internal/experiments"
+	"reramtest/internal/health"
 	"reramtest/internal/monitor"
 	"reramtest/internal/nn"
 	"reramtest/internal/repair"
@@ -24,94 +31,124 @@ import (
 	"reramtest/internal/tensor"
 )
 
+// device bundles the accelerator with the repair mechanisms the supervised
+// loop may invoke. It implements health.Repairer.
+type device struct {
+	accel *reram.Accelerator
+	ref   *nn.Network
+	env   *experiments.Env
+	rcfg  reram.Config
+}
+
+func (d *device) infer(x *tensor.Tensor) *tensor.Tensor {
+	return nn.Softmax(d.accel.ReadoutNetwork().Forward(x))
+}
+
+func (d *device) accuracy() float64 {
+	eval := d.env.DigitsTest.Head(300)
+	return d.accel.ReadoutNetwork().Accuracy(eval.X, eval.Y, 64)
+}
+
+// Apply executes one planned repair action against the hardware.
+func (d *device) Apply(action repair.Action) (*nn.Network, error) {
+	switch action {
+	case repair.Reprogram:
+		fmt.Println("  repair: reprogramming all crossbars")
+		d.accel.Reprogram()
+		return nil, nil
+	case repair.Retrain:
+		// cloud-edge path: diagnose stuck cells (leaves the arrays
+		// reprogrammed), fine-tune around the frozen faults, redeploy, and
+		// hand back the new reference for monitor recommissioning
+		stuck := repair.DiagnoseStuck(d.accel, d.ref, 0.3)
+		fmt.Printf("  repair: retraining around %d stuck cells\n", stuck.Count())
+		faulty := d.accel.ReadoutNetwork()
+		cfg := repair.DefaultRetrainConfig()
+		cfg.Epochs = 2
+		repair.RetrainAround(faulty, stuck, d.env.DigitsTrain.Head(2000), nil, cfg)
+		d.accel.ProgramNetwork(faulty)
+		d.ref = faulty
+		return faulty, nil
+	case repair.Replace:
+		fmt.Println("  repair: replacing the module with a fresh part")
+		d.accel = reram.NewAccelerator(d.env.LeNet, d.rcfg, 12)
+		d.ref = d.env.LeNet
+		return d.env.LeNet, nil
+	default:
+		return nil, nil
+	}
+}
+
 func main() {
 	env, err := experiments.NewEnv(experiments.DefaultScale(), os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "self_healing:", err)
 		os.Exit(1)
 	}
-	net := env.LeNet
-	eval := env.DigitsTest.Head(300)
 
-	cfg := reram.DefaultConfig()
-	cfg.Device.ProgramSigma = 0.04
-	cfg.Device.DriftRate = 0.0006
-	accel := reram.NewAccelerator(net, cfg, 11)
+	rcfg := reram.DefaultConfig()
+	rcfg.Device.ProgramSigma = 0.04
+	rcfg.Device.DriftRate = 0.0006
+	dev := &device{accel: reram.NewAccelerator(env.LeNet, rcfg, 11), ref: env.LeNet, env: env, rcfg: rcfg}
 	patterns := env.PatternsDefault("lenet5", "ctp")
-	mon := monitor.New(net, patterns, nil, monitor.DefaultConfig())
 
-	infer := func(x *tensor.Tensor) *tensor.Tensor {
-		return nn.Softmax(accel.ReadoutNetwork().Forward(x))
-	}
-	accuracy := func() float64 {
-		return accel.ReadoutNetwork().Accuracy(eval.X, eval.Y, 64)
+	hcfg := health.DefaultConfig()
+	hcfg.EscalateAfter = 2 // confirm damage on 2 agreeing rounds
+	rt, err := health.New(monitor.MustNew(env.LeNet, patterns, nil, monitor.DefaultConfig()), hcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "self_healing:", err)
+		os.Exit(1)
 	}
 
-	// the field scenario: slow drift, then an endurance stuck-at burst
+	// the field scenario: a transient readout glitch (absorbed by the
+	// debounce), slow drift (reprogrammed), a poisoned NaN readout (rejected,
+	// never Healthy), then an endurance stuck-at burst (retrained around)
 	events := []struct {
-		name  string
-		apply func()
+		name   string
+		rounds int // monitoring rounds after the event lands
+		apply  func() monitor.Infer
 	}{
-		{"commissioning", func() {}},
-		{"1000h of drift", func() { accel.AdvanceTime(1000) }},
-		{"endurance burst: 1.5% SA0 + 0.75% SA1", func() { accel.InjectStuckAt(0.015, 0.0075) }},
+		{"commissioning", 2, func() monitor.Infer { return dev.infer }},
+		{"transient readout glitch (1 round)", 1, func() monitor.Infer {
+			return func(x *tensor.Tensor) *tensor.Tensor {
+				probs := dev.infer(x)
+				uniform := 1.0 / float64(probs.Dim(1))
+				probs.Apply(func(v float64) float64 { return 0.6*v + 0.4*uniform })
+				return probs
+			}
+		}},
+		{"glitch cleared", 1, func() monitor.Infer { return dev.infer }},
+		{"250h of drift", 3, func() monitor.Infer {
+			dev.accel.AdvanceTime(250)
+			return dev.infer
+		}},
+		{"poisoned sensor: NaN confidences (1 round)", 1, func() monitor.Infer {
+			return func(x *tensor.Tensor) *tensor.Tensor {
+				probs := dev.infer(x)
+				probs.Data()[0] = math.NaN()
+				return probs
+			}
+		}},
+		{"sensor recovered", 1, func() monitor.Infer { return dev.infer }},
+		{"endurance burst: 1.5% SA0 + 0.75% SA1", 3, func() monitor.Infer {
+			dev.accel.InjectStuckAt(0.015, 0.0075)
+			return dev.infer
+		}},
 	}
 
 	for _, ev := range events {
-		ev.apply()
-		rep := mon.Check(infer)
 		fmt.Printf("\n== %s ==\n", ev.name)
-		fmt.Printf("monitor: %s\n", rep)
-		fmt.Printf("true accuracy: %.1f%%\n", 100*accuracy())
-
-		action := repair.PlanFor(rep.Status)
-		if action == repair.NoAction {
-			fmt.Println("plan: healthy — no repair")
-			continue
+		infer := ev.apply()
+		for i := 0; i < ev.rounds; i++ {
+			ep := rt.Supervise(infer, dev)
+			fmt.Printf("%s\n", ep.Trigger)
+			if ep.Repaired() {
+				fmt.Printf("  %s\n", ep)
+				fmt.Printf("  true accuracy after repair: %.1f%%\n", 100*dev.accuracy())
+			}
 		}
-		fmt.Printf("plan: %s\n", action)
-		result, newRef := execute(action, accel, net, env, accuracy)
-		fmt.Printf("repair: %s\n", result)
-		if newRef != nil {
-			// a retraining repair changes the reference weights, so golden
-			// outputs must be re-captured against the new model — otherwise
-			// the monitor keeps comparing the accelerator to a model that no
-			// longer exists
-			mon = monitor.New(newRef, patterns, nil, monitor.DefaultConfig())
-			fmt.Println("monitor re-commissioned against the retrained reference")
-		}
-		after := mon.Check(infer)
-		fmt.Printf("post-repair monitor: status=%s allDist=%.4f\n", after.Status, after.AllDist)
 	}
-}
 
-// execute runs one repair action against the accelerator. For retraining
-// repairs it returns the retrained reference model so the caller can
-// re-commission the monitor against it.
-func execute(action repair.Action, accel *reram.Accelerator, target *nn.Network,
-	env *experiments.Env, accuracy func() float64) (repair.Report, *nn.Network) {
-	before := accuracy()
-	rep := repair.Report{Action: action, AccBefore: before, AccAfter: -1}
-	var newRef *nn.Network
-	switch action {
-	case repair.Reprogram:
-		accel.Reprogram()
-	case repair.Retrain, repair.Replace:
-		// diagnose which cells are stuck (leaves the arrays reprogrammed, so
-		// drift damage is already cleared)
-		stuck := repair.DiagnoseStuck(accel, target, 0.3)
-		rep.Stuck = stuck.Count()
-		// cloud-edge path: fine-tune a copy of the model around the frozen
-		// faults, then push the compensated weights back to the device
-		faulty := accel.ReadoutNetwork()
-		cfg := repair.DefaultRetrainConfig()
-		cfg.Epochs = 2
-		cfg.Log = os.Stderr
-		repair.RetrainAround(faulty, stuck, env.DigitsTrain.Head(2000), nil, cfg)
-		accel.ProgramNetwork(faulty) // stuck cells ignore the write — that is why they were frozen
-		rep.Detail = "(retrained around frozen faults, weights re-deployed)"
-		newRef = faulty
-	}
-	rep.AccAfter = accuracy()
-	return rep, newRef
+	fmt.Printf("\nsummary: %d rounds, %d confirmed status changes, %d readouts rejected\n",
+		len(rt.History()), rt.StatusFlips(), func() int { r, _ := rt.RejectedReadouts(); return r }())
 }

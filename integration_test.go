@@ -125,7 +125,10 @@ func TestEndToEndHardwarePipeline(t *testing.T) {
 
 	// the monitor sees it
 	ctp := testgen.SelectCTP(net, data, 30)
-	mon := monitor.New(net, ctp, nil, monitor.DefaultConfig())
+	mon, err := monitor.New(net, ctp, nil, monitor.DefaultConfig())
+	if err != nil {
+		t.Fatalf("monitor.New: %v", err)
+	}
 	rep := mon.Check(func(x *tensor.Tensor) *tensor.Tensor {
 		return nn.Softmax(accel.ReadoutNetwork().Forward(x))
 	})

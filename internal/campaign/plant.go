@@ -1,0 +1,305 @@
+// The plant is the device-under-test a campaign soaks: a small trained MLP
+// programmed onto simulated ReRAM crossbars, plus the probe set the harness
+// uses to score functional recovery and the Repairer that executes the
+// runtime's repair plan against the hardware.
+//
+// Fidelity is self-labelled: the probe labels are the *clean* model's own
+// predictions, so commissioning fidelity is 1.0 by construction (modulo
+// programming noise) and "recovered to within 2% of commissioning" is a pure
+// statement about the accelerator's functional agreement with the model it
+// was deployed with — no ground-truth dataset required, exactly like the
+// concurrent-test setting itself.
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"reramtest/internal/dataset"
+	"reramtest/internal/models"
+	"reramtest/internal/monitor"
+	"reramtest/internal/nn"
+	"reramtest/internal/repair"
+	"reramtest/internal/reram"
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+	"reramtest/internal/testgen"
+)
+
+// PlantConfig sizes the simulated device-under-test.
+type PlantConfig struct {
+	// In/Hidden/Classes shape the MLP workload.
+	In      int
+	Hidden  []int
+	Classes int
+	// TrainN/ProbeN size the self-labelled retraining and fidelity sets.
+	TrainN, ProbeN int
+	// Patterns is the concurrent-test set size (C-TP selection).
+	Patterns int
+	// ModelSeed fixes the workload (model + data); campaigns share it so the
+	// expensive training happens once while fault timelines vary per seed.
+	ModelSeed int64
+	// Tile is the (square) crossbar array size.
+	Tile int
+	// ProgramSigma/DriftRate/DriftJitter are the device physics the plant
+	// ages under.
+	ProgramSigma, DriftRate, DriftJitter float64
+	// RetrainEpochs bounds the fault-aware retraining repair.
+	RetrainEpochs int
+}
+
+// DefaultPlantConfig returns a seconds-scale plant: a 3-layer MLP on 32×32
+// crossbar tiles with mild programming noise.
+func DefaultPlantConfig() PlantConfig {
+	return PlantConfig{
+		In: 16, Hidden: []int{24, 16}, Classes: 6,
+		TrainN: 600, ProbeN: 256, Patterns: 16,
+		ModelSeed: 7, Tile: 32,
+		ProgramSigma: 0.02, DriftRate: 0.002, DriftJitter: 0.004,
+		RetrainEpochs: 2,
+	}
+}
+
+// template is the immutable, shareable part of a plant: the trained clean
+// model, the self-labelled datasets and the pattern set. Campaigns only ever
+// read it (repairs clone before mutating), so one template serves every seed
+// of the same PlantConfig.
+type template struct {
+	clean    *nn.Network
+	train    *dataset.Dataset // labels = clean model predictions
+	probe    *dataset.Dataset
+	patterns *testgen.PatternSet
+}
+
+var (
+	templateMu    sync.Mutex
+	templateCache = map[string]*template{}
+)
+
+func templateKey(cfg PlantConfig) string { return fmt.Sprintf("%+v", cfg) }
+
+// buildTemplate trains the workload model on synthetic Gaussian-cluster data
+// and self-labels the retrain/probe sets with its predictions.
+func buildTemplate(cfg PlantConfig) *template {
+	templateMu.Lock()
+	defer templateMu.Unlock()
+	if t, ok := templateCache[templateKey(cfg)]; ok {
+		return t
+	}
+	r := rng.New(cfg.ModelSeed)
+	pool := clusterData(r.Split(), cfg, cfg.TrainN+cfg.ProbeN+4*cfg.Patterns)
+	net := models.MLP(r.Split(), cfg.In, cfg.Hidden, cfg.Classes)
+	tcfg := models.DefaultTrainConfig()
+	tcfg.Epochs = 5
+	tcfg.Seed = r.Int63()
+	models.Train(net, pool, nil, tcfg)
+
+	// self-label everything with the trained model's predictions
+	pool.Y = net.Predict(pool.X)
+	train := pool.Head(cfg.TrainN)
+	probeIdx := make([]int, cfg.ProbeN)
+	for i := range probeIdx {
+		probeIdx[i] = cfg.TrainN + i
+	}
+	probe := pool.Subset(probeIdx)
+
+	t := &template{clean: net, train: train, probe: probe,
+		patterns: testgen.SelectCTP(net, pool, cfg.Patterns)}
+	templateCache[templateKey(cfg)] = t
+	return t
+}
+
+// clusterData renders a synthetic classification workload: one Gaussian
+// prototype per class in [0,1]^In with per-sample jitter.
+func clusterData(r *rng.RNG, cfg PlantConfig, n int) *dataset.Dataset {
+	protos := make([][]float64, cfg.Classes)
+	for c := range protos {
+		protos[c] = make([]float64, cfg.In)
+		for i := range protos[c] {
+			protos[c][i] = r.Float64()
+		}
+	}
+	x := tensor.New(n, cfg.In)
+	y := make([]int, n)
+	xd := x.Data()
+	for s := 0; s < n; s++ {
+		c := s % cfg.Classes
+		y[s] = c
+		row := xd[s*cfg.In : (s+1)*cfg.In]
+		for i := range row {
+			row[i] = clamp01(protos[c][i] + r.Normal(0, 0.12))
+		}
+	}
+	return &dataset.Dataset{Name: "clusters", Classes: cfg.Classes, C: 1, H: 1, W: cfg.In, X: x, Y: y}
+}
+
+func clamp01(v float64) float64 { return math.Min(1, math.Max(0, v)) }
+
+// GlitchMode is how a transient sensor glitch corrupts the readout.
+type GlitchMode int
+
+// Transient glitch modes. Noise perturbs confidences enough to cross a
+// status threshold (the flap-inducing case); the other three are poisoned
+// readouts the runtime must reject: NaN confidences, a wrong-shape tensor,
+// and an Infer that panics outright.
+const (
+	GlitchNoise GlitchMode = iota
+	GlitchNaN
+	GlitchShape
+	GlitchPanic
+)
+
+// String names the glitch mode.
+func (g GlitchMode) String() string {
+	switch g {
+	case GlitchNoise:
+		return "noise"
+	case GlitchNaN:
+		return "nan"
+	case GlitchShape:
+		return "shape"
+	default:
+		return "panic"
+	}
+}
+
+// Plant is one campaign's device-under-test. It implements health.Repairer.
+type Plant struct {
+	cfg   PlantConfig
+	tmpl  *template
+	ref   *nn.Network // current reference weights (changes after retrain)
+	accel *reram.Accelerator
+	r     *rng.RNG
+
+	round                  int // current campaign round, set by the runner
+	glitchMode             GlitchMode
+	glitchFrom, glitchUpto int // active round window [from, upto)
+}
+
+// NewPlant programs the shared workload model onto a fresh simulated
+// accelerator. seed individualises the device (programming noise, drift
+// randomness), not the workload.
+func NewPlant(seed int64, cfg PlantConfig) *Plant {
+	tmpl := buildTemplate(cfg)
+	p := &Plant{cfg: cfg, tmpl: tmpl, ref: tmpl.clean, r: rng.New(seed)}
+	p.accel = reram.NewAccelerator(tmpl.clean, p.reramConfig(), p.r.Int63())
+	return p
+}
+
+func (p *Plant) reramConfig() reram.Config {
+	rc := reram.DefaultConfig()
+	rc.TileRows, rc.TileCols = p.cfg.Tile, p.cfg.Tile
+	rc.Device.ProgramSigma = p.cfg.ProgramSigma
+	rc.Device.DriftRate = p.cfg.DriftRate
+	rc.Device.DriftJitter = p.cfg.DriftJitter
+	return rc
+}
+
+// Reference returns the model the monitor should currently be commissioned
+// against.
+func (p *Plant) Reference() *nn.Network { return p.ref }
+
+// Patterns returns the concurrent-test pattern set.
+func (p *Plant) Patterns() *testgen.PatternSet { return p.tmpl.patterns }
+
+// Accelerator exposes the simulated hardware for event injection.
+func (p *Plant) Accelerator() *reram.Accelerator { return p.accel }
+
+// SetRound advances the plant's notion of campaign time; glitch windows are
+// keyed to it so every readout retry within a poisoned round stays poisoned.
+func (p *Plant) SetRound(round int) { p.round = round }
+
+// StartGlitch arms a transient sensor glitch covering rounds
+// [from, from+duration).
+func (p *Plant) StartGlitch(mode GlitchMode, from, duration int) {
+	p.glitchMode, p.glitchFrom, p.glitchUpto = mode, from, from+duration
+}
+
+func (p *Plant) glitchActive() bool {
+	return p.round >= p.glitchFrom && p.round < p.glitchUpto
+}
+
+// BaseInfer is the unglitched readout path (weight-level view, matching the
+// statistical abstraction the paper's sweeps use).
+func (p *Plant) BaseInfer() monitor.Infer {
+	return func(x *tensor.Tensor) *tensor.Tensor {
+		return nn.Softmax(p.accel.ReadoutNetwork().Forward(x))
+	}
+}
+
+// Infer is the monitored readout path, including any active transient
+// glitch.
+func (p *Plant) Infer() monitor.Infer {
+	base := p.BaseInfer()
+	return func(x *tensor.Tensor) *tensor.Tensor {
+		if !p.glitchActive() {
+			return base(x)
+		}
+		switch p.glitchMode {
+		case GlitchPanic:
+			panic("campaign: transient sensor glitch")
+		case GlitchShape:
+			return tensor.New(1, 1)
+		case GlitchNaN:
+			probs := base(x)
+			probs.Data()[0] = math.NaN()
+			return probs
+		default: // GlitchNoise: mix confidences toward uniform, enough to
+			// cross the Degraded threshold for exactly the glitch window
+			probs := base(x)
+			uniform := 1.0 / float64(probs.Dim(1))
+			const alpha = 0.35
+			probs.Apply(func(v float64) float64 { return (1-alpha)*v + alpha*uniform })
+			return probs
+		}
+	}
+}
+
+// Fidelity measures the accelerator's functional agreement with the clean
+// model on the probe set (1.0 = perfect agreement).
+func (p *Plant) Fidelity() float64 {
+	return p.accel.ReadoutNetwork().Accuracy(p.tmpl.probe.X, p.tmpl.probe.Y, 64)
+}
+
+// ShadowStatus classifies the accelerator's current raw severity through a
+// fresh monitor commissioned against the current reference — the campaign's
+// ground-truth label for an injected event. It bypasses glitches and leaves
+// the runtime's monitor history untouched.
+func (p *Plant) ShadowStatus(cfg monitor.Config) monitor.Status {
+	shadow := monitor.MustNew(p.ref, p.tmpl.patterns, nil, cfg)
+	return shadow.Check(p.BaseInfer()).Status
+}
+
+// Apply implements health.Repairer against the simulated hardware.
+func (p *Plant) Apply(action repair.Action) (*nn.Network, error) {
+	switch action {
+	case repair.NoAction:
+		return nil, nil
+	case repair.Reprogram:
+		p.accel.Reprogram()
+		return nil, nil
+	case repair.Retrain:
+		// cloud-edge path: diagnose stuck cells (leaves arrays reprogrammed),
+		// fine-tune the readout weights around the frozen faults on the
+		// self-labelled set, redeploy, and hand the new reference back for
+		// monitor recommissioning
+		stuck := repair.DiagnoseStuck(p.accel, p.ref, 0.3)
+		faulty := p.accel.ReadoutNetwork()
+		rcfg := repair.DefaultRetrainConfig()
+		rcfg.Epochs = p.cfg.RetrainEpochs
+		rcfg.Seed = p.r.Int63()
+		repair.RetrainAround(faulty, stuck, p.tmpl.train, nil, rcfg)
+		p.accel.ProgramNetwork(faulty)
+		p.ref = faulty
+		return faulty, nil
+	case repair.Replace:
+		// module replacement: a fresh part programmed with the original
+		// clean weights
+		p.ref = p.tmpl.clean
+		p.accel = reram.NewAccelerator(p.tmpl.clean, p.reramConfig(), p.r.Int63())
+		return p.tmpl.clean, nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown repair action %v", action)
+	}
+}

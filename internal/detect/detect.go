@@ -83,6 +83,18 @@ func topK(row []float64, k int) []int {
 				best, bi = v, j
 			}
 		}
+		if bi == -1 {
+			// every remaining entry is NaN (NaN compares false against
+			// anything): fall back to the first unused index so a poisoned
+			// readout still yields a well-formed — and golden-divergent —
+			// ranking instead of an out-of-range panic
+			for j := range row {
+				if !used[j] {
+					bi = j
+					break
+				}
+			}
+		}
 		used[bi] = true
 		out = append(out, bi)
 	}
@@ -137,6 +149,11 @@ type Observation struct {
 	PerPatternTop []float64
 	// PerPatternAll holds the per-pattern mean all-class distance.
 	PerPatternAll []float64
+	// NonFinite counts NaN/Inf confidence entries in the observed batch.
+	// Each such entry contributes the maximum per-class distance (1.0)
+	// instead of poisoning the aggregate with NaN — a fault model emitting
+	// NaN logits must never look Healthy.
+	NonFinite int
 }
 
 // Observe runs the patterns through target and scores the divergence from
@@ -159,10 +176,13 @@ func (g *Golden) ObserveProbs(probs *tensor.Tensor) Observation {
 		grow := gd[i*n : (i+1)*n]
 		trow := td[i*n : (i+1)*n]
 		cstar := g.Top1[i]
-		o.PerPatternTop[i] = math.Abs(trow[cstar] - grow[cstar])
+		o.PerPatternTop[i] = classDist(trow[cstar], grow[cstar])
 		all := 0.0
 		for c := 0; c < n; c++ {
-			all += math.Abs(trow[c] - grow[c])
+			if !isFinite(trow[c]) {
+				o.NonFinite++
+			}
+			all += classDist(trow[c], grow[c])
 		}
 		o.PerPatternAll[i] = all / float64(n)
 		t5 := topK(trow, 5)
@@ -179,6 +199,21 @@ func (g *Golden) ObserveProbs(probs *tensor.Tensor) Observation {
 	o.TopDist = stats.Mean(o.PerPatternTop)
 	o.AllDist = stats.Mean(o.PerPatternAll)
 	return o
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// classDist is the per-class confidence distance |t − g|, capped at the
+// maximum possible softmax divergence (1.0) when the observed confidence is
+// NaN or infinite. Without the cap a single NaN entry turns the mean
+// distance into NaN, every threshold comparison into false, and a severely
+// broken accelerator into "Healthy".
+func classDist(t, g float64) float64 {
+	if !isFinite(t) {
+		return 1
+	}
+	return math.Abs(t - g)
 }
 
 // Detect applies one criterion to the observation.

@@ -215,3 +215,46 @@ func TestDistancesBounded(t *testing.T) {
 		t.Fatalf("distances out of [0,1]: %+v", o)
 	}
 }
+
+func TestClassDistCapsNonFinite(t *testing.T) {
+	if classDist(math.NaN(), 0.5) != 1 || classDist(math.Inf(1), 0.5) != 1 {
+		t.Fatal("non-finite target confidence not capped at distance 1")
+	}
+	t1, g1 := 0.7, 0.5
+	if classDist(t1, g1) != math.Abs(t1-g1) {
+		t.Fatal("finite distance altered")
+	}
+}
+
+func TestObserveProbsCountsNonFinite(t *testing.T) {
+	net := models.MLP(rng.New(11), 12, []int{8}, 5)
+	g := Capture(net, testPatterns(4, 12))
+	probs := g.Probs.Clone()
+	probs.Data()[0] = math.NaN()
+	probs.Data()[7] = math.Inf(1)
+	o := g.ObserveProbs(probs)
+	if o.NonFinite != 2 {
+		t.Fatalf("NonFinite=%d, want 2", o.NonFinite)
+	}
+	if math.IsNaN(o.AllDist) || math.IsInf(o.AllDist, 0) {
+		t.Fatalf("aggregate distance not finite: %v", o.AllDist)
+	}
+	if o.AllDist <= 0 || o.AllDist > 1 {
+		t.Fatalf("poisoned entries should contribute capped distance: %v", o.AllDist)
+	}
+}
+
+func TestTopKAllNaNRowDoesNotPanic(t *testing.T) {
+	row := []float64{math.NaN(), math.NaN(), math.NaN()}
+	got := topK(row, 3)
+	if len(got) != 3 {
+		t.Fatalf("topK on all-NaN row returned %v", got)
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		if i < 0 || i >= 3 || seen[i] {
+			t.Fatalf("topK on all-NaN row returned invalid indices %v", got)
+		}
+		seen[i] = true
+	}
+}

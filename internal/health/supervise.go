@@ -1,0 +1,186 @@
+// Supervised repair: the closed loop the paper motivates, hardened. A
+// confirmed degradation plans the cheapest adequate repair (repair.PlanFor),
+// applies it, then *verifies* recovery with fresh concurrent-test rounds.
+// Verification failure escalates to the next costlier mechanism
+// (reprogram → retrain → replace); exhausting the budget gives up gracefully
+// with a hardware-service recommendation instead of looping forever or
+// declaring victory open-loop.
+package health
+
+import (
+	"fmt"
+	"strings"
+
+	"reramtest/internal/monitor"
+	"reramtest/internal/nn"
+	"reramtest/internal/repair"
+	"reramtest/internal/tensor"
+)
+
+// Repairer executes repair actions against the physical accelerator. Apply
+// returns a non-nil network when the repair changed the deployed reference
+// weights (retraining, module replacement) — the runtime then recommissions
+// the monitor against it so golden outputs track the model actually on the
+// device.
+type Repairer interface {
+	Apply(action repair.Action) (newRef *nn.Network, err error)
+}
+
+// RepairerFunc adapts a function to the Repairer interface.
+type RepairerFunc func(action repair.Action) (*nn.Network, error)
+
+// Apply implements Repairer.
+func (f RepairerFunc) Apply(a repair.Action) (*nn.Network, error) { return f(a) }
+
+// Attempt records one (apply, verify) cycle of a repair episode.
+type Attempt struct {
+	Action         repair.Action
+	ApplyErr       error   // the action itself failed (episode escalates)
+	Verified       bool    // all verification rounds came back Healthy
+	VerifyDist     float64 // worst AllDist seen across verification rounds
+	Recommissioned bool    // the monitor's golden reference was recaptured
+}
+
+// String renders the attempt on one line.
+func (a Attempt) String() string {
+	if a.ApplyErr != nil {
+		return fmt.Sprintf("%s: apply failed: %v", a.Action, a.ApplyErr)
+	}
+	verdict := "FAILED verification"
+	if a.Verified {
+		verdict = "verified"
+	}
+	recom := ""
+	if a.Recommissioned {
+		recom = ", recommissioned"
+	}
+	return fmt.Sprintf("%s: %s (worst verify dist %.4f%s)", a.Action, verdict, a.VerifyDist, recom)
+}
+
+// Episode is the outcome of one Supervise call.
+type Episode struct {
+	// Trigger is the monitoring round that opened the episode.
+	Trigger Round
+	// Attempts lists the repair cycles run, in escalation order (empty when
+	// the trigger round was healthy).
+	Attempts []Attempt
+	// Recovered reports that some attempt verified clean.
+	Recovered bool
+	// GaveUp reports that the budget was exhausted without verification;
+	// the confirmed status stays elevated and Recommendation names the
+	// hardware-service escalation.
+	GaveUp bool
+	// Recommendation is the standing advice after the episode.
+	Recommendation string
+	// Final is the runtime's confirmed status after the episode.
+	Final monitor.Status
+}
+
+// Repaired reports whether any repair work ran this episode.
+func (e Episode) Repaired() bool { return len(e.Attempts) > 0 }
+
+// String renders the episode for logs.
+func (e Episode) String() string {
+	if !e.Repaired() {
+		return fmt.Sprintf("episode: %s, no repair", e.Final)
+	}
+	parts := make([]string, len(e.Attempts))
+	for i, a := range e.Attempts {
+		parts[i] = a.String()
+	}
+	verdict := "RECOVERED"
+	if !e.Recovered {
+		verdict = "GAVE UP"
+	}
+	return fmt.Sprintf("episode: trigger=%s attempts=[%s] %s → %s",
+		e.Trigger.Status(), strings.Join(parts, "; "), verdict, e.Recommendation)
+}
+
+// Supervise runs one hardened monitoring round and, when the debounced
+// status confirms damage (≥ Degraded), drives the detect→repair→verify loop
+// until the accelerator verifies clean, the escalation ladder tops out, or
+// the attempt budget runs dry. It never panics.
+func (rt *Runtime) Supervise(accel monitor.Infer, rep Repairer) Episode {
+	round := rt.Check(accel)
+	ep := Episode{Trigger: round, Final: rt.confirmed, Recommendation: "none"}
+	if round.Confirmed < monitor.Degraded || rep == nil {
+		return ep
+	}
+
+	action := repair.PlanFor(round.Confirmed)
+	if action == repair.NoAction {
+		return ep
+	}
+	for len(ep.Attempts) < rt.cfg.MaxRepairAttempts {
+		att := Attempt{Action: action}
+		newRef, err := rep.Apply(action)
+		if err != nil {
+			att.ApplyErr = err
+		} else {
+			if newRef != nil {
+				rt.mon.Recommission(newRef)
+				att.Recommissioned = true
+			}
+			att.Verified, att.VerifyDist = rt.verify(accel)
+		}
+		ep.Attempts = append(ep.Attempts, att)
+		if att.Verified {
+			// verification rounds are authoritative evidence of recovery;
+			// bypass the de-escalation delay
+			rt.forceConfirmed(monitor.Healthy)
+			ep.Recovered = true
+			ep.Recommendation = "none"
+			break
+		}
+		next, ok := escalate(action)
+		if !ok {
+			// the ladder is exhausted: even Replace did not verify
+			break
+		}
+		action = next
+	}
+	ep.Final = rt.confirmed
+	if !ep.Recovered {
+		ep.GaveUp = true
+		ep.Recommendation = "hardware service: spare-array remapping or module replacement"
+	}
+	return ep
+}
+
+// verify runs cfg.VerifyRounds guarded raw checks and succeeds only if every
+// one of them reads back finite, well-shaped and Healthy. The checks go
+// through the wrapped monitor (so they appear in its history) but bypass the
+// hysteresis tracker: they are part of the repair transaction, and success
+// resets the tracker wholesale via forceConfirmed.
+func (rt *Runtime) verify(accel monitor.Infer) (ok bool, worstDist float64) {
+	ok = true
+	for v := 0; v < rt.cfg.VerifyRounds; v++ {
+		probs, rejected, err := rt.readout(accel)
+		rt.rejects += rejected
+		if err != nil {
+			return false, worstDist
+		}
+		repRaw := rt.mon.Check(func(*tensor.Tensor) *tensor.Tensor { return probs })
+		if repRaw.AllDist > worstDist {
+			worstDist = repRaw.AllDist
+		}
+		if repRaw.Status != monitor.Healthy {
+			ok = false
+		}
+	}
+	return ok, worstDist
+}
+
+// escalate returns the next costlier repair mechanism.
+func escalate(a repair.Action) (repair.Action, bool) {
+	switch a {
+	case repair.NoAction:
+		return repair.Reprogram, true
+	case repair.Reprogram:
+		return repair.Retrain, true
+	case repair.Retrain:
+		return repair.Replace, true
+	default:
+		return repair.Replace, false
+	}
+}

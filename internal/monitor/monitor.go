@@ -19,6 +19,7 @@ package monitor
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -82,6 +83,10 @@ type CalibPoint struct {
 	Accuracy float64 // measured model accuracy at that distance
 }
 
+// DefaultMaxHistory bounds the report history of monitors whose Config
+// leaves MaxHistory at zero, so long-running deployments never leak.
+const DefaultMaxHistory = 512
+
 // Config sets the monitor's decision thresholds on the mean all-class
 // confidence distance (the paper's most sensitive aggregate, SDC-A).
 type Config struct {
@@ -89,6 +94,9 @@ type Config struct {
 	DegradedAt, ImpairedAt, CriticalAt float64
 	// Criteria lists the SDC rules to evaluate and report on each check.
 	Criteria []detect.Criterion
+	// MaxHistory caps the retained report history (ring buffer). 0 selects
+	// DefaultMaxHistory; negative keeps every report (tests, short sweeps).
+	MaxHistory int
 }
 
 // DefaultConfig uses the paper's SDC-A levels: 3% distance marks degradation
@@ -96,8 +104,31 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		DegradedAt: 0.03, ImpairedAt: 0.06, CriticalAt: 0.10,
-		Criteria: detect.AllCriteria,
+		Criteria:   detect.AllCriteria,
+		MaxHistory: DefaultMaxHistory,
 	}
+}
+
+// Validate rejects threshold configurations the classifier cannot act on:
+// every threshold must be positive and finite, and the three levels must be
+// strictly ascending (Degraded < Impaired < Critical).
+func (c Config) Validate() error {
+	for _, t := range []struct {
+		name string
+		v    float64
+	}{{"DegradedAt", c.DegradedAt}, {"ImpairedAt", c.ImpairedAt}, {"CriticalAt", c.CriticalAt}} {
+		if math.IsNaN(t.v) || math.IsInf(t.v, 0) {
+			return fmt.Errorf("monitor: %s must be finite, got %v", t.name, t.v)
+		}
+		if t.v <= 0 {
+			return fmt.Errorf("monitor: %s must be positive, got %v", t.name, t.v)
+		}
+	}
+	if !(c.DegradedAt < c.ImpairedAt && c.ImpairedAt < c.CriticalAt) {
+		return fmt.Errorf("monitor: thresholds must ascend, got Degraded=%v Impaired=%v Critical=%v",
+			c.DegradedAt, c.ImpairedAt, c.CriticalAt)
+	}
+	return nil
 }
 
 // Monitor is a commissioned concurrent-test agent for one accelerator.
@@ -105,17 +136,44 @@ type Monitor struct {
 	cfg     Config
 	golden  *detect.Golden
 	calib   []CalibPoint
-	history []Report
+	history []Report // ring buffer once cfg.MaxHistory is reached
+	start   int      // index of the oldest retained report
+	rounds  int      // total checks ever run (Round numbering survives eviction)
 }
 
 // New commissions a monitor: it captures golden confidences of the ideal
 // model on the pattern set. calib may be nil (accuracy estimates are then
-// omitted) or a Fig.-8-style curve sorted in any order.
-func New(ideal *nn.Network, patterns *testgen.PatternSet, calib []CalibPoint, cfg Config) *Monitor {
+// omitted) or a Fig.-8-style curve sorted in any order. It fails when cfg
+// does not pass Validate.
+func New(ideal *nn.Network, patterns *testgen.PatternSet, calib []CalibPoint, cfg Config) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxHistory == 0 {
+		cfg.MaxHistory = DefaultMaxHistory
+	}
 	m := &Monitor{cfg: cfg, golden: detect.Capture(ideal, patterns),
 		calib: append([]CalibPoint(nil), calib...)}
 	sort.Slice(m.calib, func(i, j int) bool { return m.calib[i].Distance < m.calib[j].Distance })
+	return m, nil
+}
+
+// MustNew is New for callers with a statically known-good configuration
+// (examples, tests); it panics on a validation error.
+func MustNew(ideal *nn.Network, patterns *testgen.PatternSet, calib []CalibPoint, cfg Config) *Monitor {
+	m, err := New(ideal, patterns, calib, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return m
+}
+
+// Recommission recaptures the golden reference against a new ideal model —
+// required after a retraining repair changes the deployed weights, so the
+// monitor stops comparing the accelerator to a model that no longer exists.
+// History, calibration and thresholds are preserved.
+func (m *Monitor) Recommission(ideal *nn.Network) {
+	m.golden = detect.Capture(ideal, m.golden.Patterns)
 }
 
 // Report is the outcome of one concurrent-test round.
@@ -127,6 +185,10 @@ type Report struct {
 	Status      Status
 	EstAccuracy float64 // -1 when no calibration curve is loaded
 	Action      string
+	// NonFinite counts NaN/Inf confidence entries in the readout. Any
+	// non-finite entry is itself evidence of a fault (poisoned datapath or
+	// sensor), so such a round never classifies as Healthy.
+	NonFinite int
 }
 
 // String renders the report on one line.
@@ -161,18 +223,23 @@ func NetworkInfer(net *nn.Network) Infer {
 func (m *Monitor) Check(accel Infer) Report {
 	probs := accel(m.golden.Patterns.X)
 	o := m.golden.ObserveProbs(probs)
+	m.rounds++
 	rep := Report{
-		Round:       len(m.history) + 1,
+		Round:       m.rounds,
 		TopDist:     o.TopDist,
 		AllDist:     o.AllDist,
 		Detected:    make(map[detect.Criterion]bool, len(m.cfg.Criteria)),
 		EstAccuracy: -1,
+		NonFinite:   o.NonFinite,
 	}
 	for _, c := range m.cfg.Criteria {
 		rep.Detected[c] = o.Detect(c)
 	}
 	switch {
-	case o.AllDist >= m.cfg.CriticalAt:
+	case math.IsNaN(o.AllDist) || o.AllDist >= m.cfg.CriticalAt:
+		// a NaN aggregate means the readout is garbage end to end; treat it
+		// as the worst case rather than letting NaN comparisons fall through
+		// to Healthy
 		rep.Status = Critical
 	case o.AllDist >= m.cfg.ImpairedAt:
 		rep.Status = Impaired
@@ -181,19 +248,45 @@ func (m *Monitor) Check(accel Infer) Report {
 	default:
 		rep.Status = Healthy
 	}
+	if rep.NonFinite > 0 && rep.Status == Healthy {
+		// even a single NaN/Inf confidence disqualifies a Healthy verdict:
+		// the distance sum caps each poisoned entry, but the entry itself
+		// proves the datapath is broken
+		rep.Status = Degraded
+	}
 	rep.Action = rep.Status.Action()
 	if len(m.calib) > 0 {
 		rep.EstAccuracy = m.EstimateAccuracy(o.AllDist)
 	}
-	m.history = append(m.history, rep)
+	m.record(rep)
 	return rep
 }
 
+// record appends rep to the bounded history, evicting the oldest entry once
+// the configured cap is reached.
+func (m *Monitor) record(rep Report) {
+	if m.cfg.MaxHistory < 0 {
+		m.history = append(m.history, rep)
+		return
+	}
+	if len(m.history) < m.cfg.MaxHistory {
+		m.history = append(m.history, rep)
+		return
+	}
+	m.history[m.start] = rep
+	m.start = (m.start + 1) % len(m.history)
+}
+
 // EstimateAccuracy interpolates the calibration curve at the observed
-// distance (clamping outside the calibrated range).
+// distance (clamping outside the calibrated range). A NaN or +Inf distance —
+// a poisoned readout — pessimistically maps to the worst calibrated
+// accuracy instead of silently propagating NaN through the estimate.
 func (m *Monitor) EstimateAccuracy(dist float64) float64 {
 	if len(m.calib) == 0 {
 		return -1
+	}
+	if math.IsNaN(dist) || math.IsInf(dist, +1) {
+		return m.calib[len(m.calib)-1].Accuracy
 	}
 	if dist <= m.calib[0].Distance {
 		return m.calib[0].Accuracy
@@ -211,16 +304,28 @@ func (m *Monitor) EstimateAccuracy(dist float64) float64 {
 	return a.Accuracy*(1-t) + b.Accuracy*t
 }
 
-// History returns all reports so far.
-func (m *Monitor) History() []Report { return m.history }
+// History returns the retained reports in chronological order. At most
+// Config.MaxHistory reports are kept; Rounds reports how many checks ever
+// ran.
+func (m *Monitor) History() []Report {
+	out := make([]Report, 0, len(m.history))
+	out = append(out, m.history[m.start:]...)
+	out = append(out, m.history[:m.start]...)
+	return out
+}
+
+// Rounds returns the total number of checks run since commissioning,
+// including reports already evicted from the bounded history.
+func (m *Monitor) Rounds() int { return m.rounds }
 
 // Trend summarises the all-distance history — a monotone increase flags
 // progressive degradation (drift/endurance) as opposed to a step change
-// (hard fault event).
+// (hard fault event). With fewer than two retained reports the slope is 0.
 func (m *Monitor) Trend() (slope float64, summary stats.Summary) {
-	xs := make([]float64, len(m.history))
-	ys := make([]float64, len(m.history))
-	for i, r := range m.history {
+	hist := m.History()
+	xs := make([]float64, len(hist))
+	ys := make([]float64, len(hist))
+	for i, r := range hist {
 		xs[i] = float64(r.Round)
 		ys[i] = r.AllDist
 	}
@@ -230,3 +335,13 @@ func (m *Monitor) Trend() (slope float64, summary stats.Summary) {
 
 // PatternCount returns the number of concurrent-test patterns in use.
 func (m *Monitor) PatternCount() int { return m.golden.Patterns.M() }
+
+// Input returns the pattern batch a compliant accelerator readout must be
+// produced from — the (M, dim) tensor Check feeds to its Infer.
+func (m *Monitor) Input() *tensor.Tensor { return m.golden.Patterns.X }
+
+// Classes returns the number of output classes a readout must carry.
+func (m *Monitor) Classes() int { return m.golden.Classes }
+
+// Config returns the monitor's decision configuration.
+func (m *Monitor) Config() Config { return m.cfg }

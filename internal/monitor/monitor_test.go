@@ -22,7 +22,7 @@ func testMonitor(t *testing.T, calib []CalibPoint) (*Monitor, *nn.Network) {
 		X:      tensor.RandUniform(rng.New(2), 0, 1, 8, 16),
 		Labels: make([]int, 8),
 	}
-	return New(net, patterns, calib, DefaultConfig()), net
+	return MustNew(net, patterns, calib, DefaultConfig()), net
 }
 
 func TestHealthyOnIdealModel(t *testing.T) {

@@ -68,6 +68,14 @@ func (a *Accelerator) InjectStuckAt(p0, p1 float64) {
 	}
 }
 
+// InjectSoftErrors disturbs a fraction p of healthy cells across all arrays
+// in one instantaneous shower. Reprogram clears the damage.
+func (a *Accelerator) InjectSoftErrors(p float64) {
+	for _, e := range a.engines {
+		e.InjectSoftErrors(p)
+	}
+}
+
 // Reprogram rewrites all arrays to their target conductances — the cheap
 // repair action a monitor triggers when drift (not hard faults) dominates.
 func (a *Accelerator) Reprogram() {

@@ -204,6 +204,22 @@ func (x *Crossbar) AdvanceTime(hours float64) {
 	}
 }
 
+// InjectSoftErrors disturbs a random fraction p of healthy cells to an
+// arbitrary conductance — a burst ("shower") of disturb events from a
+// voltage transient or particle strike. Unlike the per-hour SoftErrorRate
+// accumulation in AdvanceTime, this models an instantaneous event; the
+// damage persists until the array is reprogrammed.
+func (x *Crossbar) InjectSoftErrors(p float64) {
+	for i := range x.actual {
+		if x.state[i] != CellOK {
+			continue
+		}
+		if x.r.Bernoulli(p) {
+			x.actual[i] = x.r.Uniform(x.dev.GOff, x.dev.GOn)
+		}
+	}
+}
+
 // InjectStuckAt marks additional random cells stuck (endurance failures
 // appearing in the field).
 func (x *Crossbar) InjectStuckAt(p0, p1 float64) {

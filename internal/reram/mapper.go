@@ -258,6 +258,17 @@ func (t *TiledLinear) InjectStuckAt(p0, p1 float64) {
 	}
 }
 
+// InjectSoftErrors disturbs a random fraction p of healthy cells in every
+// tile (an instantaneous soft-error shower; cleared by Reprogram).
+func (t *TiledLinear) InjectSoftErrors(p float64) {
+	for _, row := range t.tiles {
+		for _, tp := range row {
+			tp.pos.InjectSoftErrors(p)
+			tp.neg.InjectSoftErrors(p)
+		}
+	}
+}
+
 // Reprogram rewrites every tile to its target conductances (repair action).
 func (t *TiledLinear) Reprogram() {
 	for _, row := range t.tiles {

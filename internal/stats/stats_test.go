@@ -170,3 +170,16 @@ func TestSummarize(t *testing.T) {
 		t.Fatal("Summary.String empty")
 	}
 }
+
+func TestLinearFitEmptyAndSinglePoint(t *testing.T) {
+	if slope, intercept, r := LinearFit(nil, nil); slope != 0 || intercept != 0 || r != 0 {
+		t.Fatalf("empty fit gave %v,%v,%v", slope, intercept, r)
+	}
+	slope, intercept, r := LinearFit([]float64{3}, []float64{7})
+	if slope != 0 || intercept != 7 || r != 0 {
+		t.Fatalf("single-point fit gave %v,%v,%v, want 0,7,0", slope, intercept, r)
+	}
+	if math.IsNaN(slope) || math.IsNaN(intercept) || math.IsNaN(r) {
+		t.Fatal("degenerate fit produced NaN")
+	}
+}
