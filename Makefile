@@ -1,21 +1,25 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 #
 #   make check   vet + build + full test suite + race detector on the
-#                hardened-runtime packages + a short campaign soak smoke
+#                hardened-runtime packages + short campaign and fleet soak
+#                smokes + a short fuzz pass over the journal decoder
 #   make race    race detector over the whole tree (slow: retrains models
 #                under the race runtime)
 #   make soak    the full 20-campaign acceptance soak with scorecard
+#   make fleet-soak  the full fleet crash/restart acceptance soak
 
 GO ?= go
 
 # The packages with concurrency-sensitive or newly hardened logic; raced on
 # every check. `make race` covers the rest.
 RACE_PKGS = ./internal/health/... ./internal/campaign/... ./internal/monitor/... \
-            ./internal/detect/... ./internal/stats/... ./internal/repair/...
+            ./internal/detect/... ./internal/stats/... ./internal/repair/... \
+            ./internal/fleet/... ./internal/journal/...
 
-.PHONY: check vet build test race-fast race soak-smoke soak
+.PHONY: check vet build test race-fast race soak-smoke soak \
+        fleet-soak-smoke fleet-soak fuzz-short
 
-check: vet build test race-fast soak-smoke
+check: vet build test race-fast soak-smoke fleet-soak-smoke fuzz-short
 	@echo "check: PASS"
 
 vet:
@@ -41,3 +45,16 @@ soak-smoke:
 
 soak:
 	$(GO) run ./cmd/monitor -soak -campaigns 20
+
+# fleet crash/restart soak: each campaign is run crashed AND uninterrupted
+# from the same seed; the gate demands zero state divergence after replay
+fleet-soak-smoke:
+	$(GO) run ./cmd/monitor -fleet-soak -campaigns 3
+
+fleet-soak:
+	$(GO) run ./cmd/monitor -fleet-soak -campaigns 10
+
+# short coverage-guided pass over the journal record decoder (the committed
+# corpus under internal/journal/testdata/fuzz seeds it)
+fuzz-short:
+	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzDecodeAll -fuzztime=10s

@@ -16,6 +16,11 @@
 // With -soak the command instead runs the randomized fault-injection
 // campaign harness against the hardened runtime and reports the robustness
 // scorecard, exiting non-zero if the acceptance gate fails.
+//
+// With -fleet-soak it runs the fleet supervisor crash/restart soak: each
+// campaign drives an N-device fleet with journaled supervisor state, kills
+// and replays the supervisor mid-campaign (corrupting the journal tail),
+// and gates on resume fidelity against an uninterrupted same-seed run.
 package main
 
 import (
@@ -36,12 +41,17 @@ func main() {
 	steps := flag.Int("steps", 8, "number of monitoring rounds")
 	analog := flag.Bool("analog", false, "run checks through the full DAC/ADC analog path (slower)")
 	soak := flag.Bool("soak", false, "run the randomized fault-injection soak campaigns instead of the demo")
+	fleetSoak := flag.Bool("fleet-soak", false, "run the fleet supervisor crash/restart soak instead of the demo")
 	campaigns := flag.Int("campaigns", 20, "soak: number of seeded campaigns")
 	rounds := flag.Int("rounds", 40, "soak: monitoring rounds per campaign")
 	seed := flag.Int64("seed", 1000, "soak: base seed (campaign i uses seed+i)")
 	minRecovery := flag.Float64("min-recovery", 0.8, "soak: gate threshold on repair-recovery rate")
+	devices := flag.Int("devices", 4, "fleet-soak: accelerators per fleet")
 	flag.Parse()
 
+	if *fleetSoak {
+		os.Exit(runFleetSoak(*seed, *campaigns, *rounds, *devices))
+	}
 	if *soak {
 		os.Exit(runSoak(*seed, *campaigns, *rounds, *minRecovery))
 	}
@@ -128,6 +138,38 @@ func runSoak(seed int64, campaigns, rounds int, minRecovery float64) int {
 	sc := campaign.Score(results, cfg.FidelityBudget)
 	fmt.Printf("\n%s\n", sc)
 	if err := sc.Gate(minRecovery); err != nil {
+		fmt.Fprintln(os.Stderr, "\nGATE FAILED:", err)
+		return 1
+	}
+	fmt.Println("\ngate: PASS")
+	return 0
+}
+
+// runFleetSoak executes the seeded fleet crash-equivalence campaigns and
+// prints the fleet scorecard. Each campaign runs twice from the same seed —
+// uninterrupted and with mid-campaign supervisor crashes (torn journal
+// tails included) — and the gate demands zero divergence between the two.
+// Returns the process exit code: 0 when the gate holds.
+func runFleetSoak(seed int64, campaigns, rounds, devices int) int {
+	cfg := campaign.DefaultFleetSoakConfig()
+	cfg.Rounds = rounds
+	cfg.Devices = devices
+	fmt.Printf("fleet soak: %d campaigns × %d rounds × %d devices, base seed %d\n",
+		campaigns, rounds, devices, seed)
+	fmt.Printf("crashes after rounds %v (journal tail corrupted), shower at round %d\n",
+		cfg.CrashAfter, cfg.ShowerRound)
+	pairs := make([]campaign.FleetPairResult, 0, campaigns)
+	for i := 0; i < campaigns; i++ {
+		pair, err := campaign.RunFleetPair(seed+int64(i), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet soak:", err)
+			return 1
+		}
+		pairs = append(pairs, pair)
+	}
+	sc := campaign.ScoreFleet(pairs)
+	fmt.Printf("\n%s\n", sc)
+	if err := sc.Gate(); err != nil {
 		fmt.Fprintln(os.Stderr, "\nGATE FAILED:", err)
 		return 1
 	}

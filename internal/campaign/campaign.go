@@ -11,6 +11,8 @@ package campaign
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"reramtest/internal/health"
@@ -292,16 +294,36 @@ func Run(seed int64, cfg Config) (Result, error) {
 	return res, nil
 }
 
-// RunMany executes n seeded campaigns (seeds baseSeed, baseSeed+1, ...) and
-// returns their traces.
+// RunMany executes n seeded campaigns (seeds baseSeed, baseSeed+1, ...)
+// across a bounded worker pool and returns their traces in seed order. Each
+// campaign is seeded independently and plants never share mutable state
+// (NewPlant clones the template model), so the parallel traces are
+// bit-identical to a serial run.
 func RunMany(baseSeed int64, n int, cfg Config) ([]Result, error) {
-	out := make([]Result, 0, n)
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	out := make([]Result, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		res, err := Run(baseSeed+int64(i), cfg)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			out[i], errs[i] = Run(baseSeed+int64(i), cfg)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return out, err
+			return nil, err
 		}
-		out = append(out, res)
 	}
 	return out, nil
 }

@@ -182,8 +182,11 @@ type Plant struct {
 // randomness), not the workload.
 func NewPlant(seed int64, cfg PlantConfig) *Plant {
 	tmpl := buildTemplate(cfg)
-	p := &Plant{cfg: cfg, tmpl: tmpl, ref: tmpl.clean, r: rng.New(seed)}
-	p.accel = reram.NewAccelerator(tmpl.clean, p.reramConfig(), p.r.Int63())
+	// own clone of the shared template model: Forward passes use per-layer
+	// scratch buffers, so concurrent plants (parallel campaigns, fleet
+	// ticks) must never route through one shared instance
+	p := &Plant{cfg: cfg, tmpl: tmpl, ref: tmpl.clean.Clone(), r: rng.New(seed)}
+	p.accel = reram.NewAccelerator(p.ref, p.reramConfig(), p.r.Int63())
 	return p
 }
 
@@ -295,10 +298,10 @@ func (p *Plant) Apply(action repair.Action) (*nn.Network, error) {
 		return faulty, nil
 	case repair.Replace:
 		// module replacement: a fresh part programmed with the original
-		// clean weights
-		p.ref = p.tmpl.clean
-		p.accel = reram.NewAccelerator(p.tmpl.clean, p.reramConfig(), p.r.Int63())
-		return p.tmpl.clean, nil
+		// clean weights (cloned — the template stays shared and immutable)
+		p.ref = p.tmpl.clean.Clone()
+		p.accel = reram.NewAccelerator(p.ref, p.reramConfig(), p.r.Int63())
+		return p.ref, nil
 	default:
 		return nil, fmt.Errorf("campaign: unknown repair action %v", action)
 	}

@@ -1,0 +1,98 @@
+package fleet
+
+import "fmt"
+
+// BreakerState is the circuit-breaker position for one accelerator's
+// monitoring path.
+type BreakerState int
+
+// Breaker states. Closed is normal supervised monitoring. Open means the
+// sensor path failed too many consecutive rounds: the device is quarantined
+// and the supervisor stops burning full retry budgets on it. HalfOpen is the
+// cooled-down trial state: one cheap single-attempt probe decides between
+// closing (sensor recovered) and re-opening (still dead).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// Breaker is a per-device circuit breaker over the sensor path. Its fields
+// are exported because the breaker is part of the journaled durable state;
+// mutate it only through its methods.
+type Breaker struct {
+	State BreakerState `json:"state"`
+	// Faults counts consecutive sensor-fault rounds while closed.
+	Faults int `json:"faults"`
+	// OpenedAt is the fleet round of the most recent open transition.
+	OpenedAt int `json:"openedAt"`
+	// Trips counts lifetime closed→open transitions.
+	Trips int `json:"trips"`
+}
+
+// Validate rejects breaker snapshots no supervisor could have journaled.
+func (b Breaker) Validate() error {
+	if b.State < BreakerClosed || b.State > BreakerHalfOpen {
+		return fmt.Errorf("fleet: breaker state out of range: %d", int(b.State))
+	}
+	if b.Faults < 0 || b.OpenedAt < 0 || b.Trips < 0 {
+		return fmt.Errorf("fleet: negative breaker counters: %+v", b)
+	}
+	return nil
+}
+
+// ObserveRound folds one supervised round's sensor verdict into a closed
+// breaker and reports whether this round tripped it open.
+func (b *Breaker) ObserveRound(sensorFault bool, round, openAfter int) (tripped bool) {
+	if b.State != BreakerClosed {
+		return false
+	}
+	if !sensorFault {
+		b.Faults = 0
+		return false
+	}
+	b.Faults++
+	if b.Faults >= openAfter {
+		b.State = BreakerOpen
+		b.OpenedAt = round
+		b.Trips++
+		b.Faults = 0
+		return true
+	}
+	return false
+}
+
+// Due reports whether an open breaker has cooled long enough at round to try
+// a half-open probe.
+func (b *Breaker) Due(round, cooldown int) bool {
+	return b.State == BreakerOpen && round-b.OpenedAt >= cooldown
+}
+
+// BeginProbe moves a due breaker to half-open.
+func (b *Breaker) BeginProbe() { b.State = BreakerHalfOpen }
+
+// ProbeResult folds the half-open probe outcome: success closes the breaker,
+// failure re-opens it and restarts the cooldown clock from round.
+func (b *Breaker) ProbeResult(ok bool, round int) {
+	if ok {
+		b.State = BreakerClosed
+		b.Faults = 0
+		return
+	}
+	b.State = BreakerOpen
+	b.OpenedAt = round
+}

@@ -1,0 +1,503 @@
+// Package fleet scales the hardened single-accelerator runtime
+// (internal/health) to the deployment the paper's economics assume: a
+// datacenter of ReRAM accelerators, each drifting and failing independently,
+// monitored concurrently with live traffic. A Supervisor runs one
+// health.Runtime per accelerator across a bounded worker pool, trips a
+// per-device circuit breaker when the sensor path itself keeps failing
+// (quarantining the device instead of burning retry budgets), routes
+// inference requests only to Healthy/Degraded-but-serving devices with
+// graceful load shedding, and journals every durable state transition
+// through internal/journal so a supervisor crash loses nothing: replaying
+// the journal reconstructs the fleet's confirmed statuses, hysteresis
+// streaks, repair budgets and breaker positions exactly.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"reramtest/internal/health"
+	"reramtest/internal/journal"
+	"reramtest/internal/monitor"
+	"reramtest/internal/nn"
+	"reramtest/internal/testgen"
+)
+
+// Device is one accelerator under fleet supervision. Implementations must
+// tolerate their methods being called from a worker goroutine, but never
+// from more than one at a time (the supervisor partitions work per device).
+type Device interface {
+	// ID names the device uniquely within the fleet.
+	ID() string
+	// Infer is the monitored readout path.
+	Infer() monitor.Infer
+	// Repairer executes repair actions against this device (nil disables
+	// repair).
+	Repairer() health.Repairer
+	// Reference is the model the device's monitor must be commissioned
+	// against right now (it changes after a retraining repair).
+	Reference() *nn.Network
+	// Patterns is the concurrent-test stimulus set.
+	Patterns() *testgen.PatternSet
+}
+
+// Config tunes the fleet supervisor.
+type Config struct {
+	// Workers bounds the tick worker pool (0 → min(4, fleet size)).
+	Workers int
+	// Health tunes each device's hardened runtime.
+	Health health.Config
+	// Monitor sets each device's decision thresholds.
+	Monitor monitor.Config
+	// BreakerOpenAfter is how many consecutive sensor-fault rounds trip a
+	// device's breaker open (0 → 2).
+	BreakerOpenAfter int
+	// BreakerCooldown is how many rounds an open breaker waits before a
+	// half-open probe (0 → 3).
+	BreakerCooldown int
+	// RepairBudget is each device's lifetime (apply, verify) repair-cycle
+	// allowance; exhausting it retires the device to hardware service
+	// (0 → 6).
+	RepairBudget int
+	// MinServing is the load-shedding floor: the router refuses to dispatch
+	// when fewer devices serve (0 → 1).
+	MinServing int
+}
+
+// DefaultConfig returns fleet-reasonable parameters over the default
+// hardened runtime.
+func DefaultConfig() Config {
+	return Config{
+		Health:           health.DefaultConfig(),
+		Monitor:          monitor.DefaultConfig(),
+		BreakerOpenAfter: 2,
+		BreakerCooldown:  3,
+		RepairBudget:     6,
+		MinServing:       1,
+	}
+}
+
+// Validate rejects configurations the supervisor cannot operate under.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("fleet: Workers must be ≥ 0, got %d", c.Workers)
+	}
+	if c.BreakerOpenAfter < 0 || c.BreakerCooldown < 0 {
+		return fmt.Errorf("fleet: breaker parameters must be ≥ 0")
+	}
+	if c.RepairBudget < 0 {
+		return fmt.Errorf("fleet: RepairBudget must be ≥ 0, got %d", c.RepairBudget)
+	}
+	if c.MinServing < 0 {
+		return fmt.Errorf("fleet: MinServing must be ≥ 0, got %d", c.MinServing)
+	}
+	if err := c.Health.Validate(); err != nil {
+		return err
+	}
+	return c.Monitor.Validate()
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults(fleetSize int) Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+		if fleetSize < 4 {
+			c.Workers = fleetSize
+		}
+	}
+	if c.BreakerOpenAfter == 0 {
+		c.BreakerOpenAfter = 2
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 3
+	}
+	if c.RepairBudget == 0 {
+		c.RepairBudget = 6
+	}
+	if c.MinServing == 0 {
+		c.MinServing = 1
+	}
+	return c
+}
+
+// deviceState is the supervisor's per-device bookkeeping.
+type deviceState struct {
+	dev     Device
+	rt      *health.Runtime
+	budget  int
+	breaker Breaker
+	retired bool
+}
+
+// RoundResult is one device's outcome for one fleet tick.
+type RoundResult struct {
+	Device    string
+	Round     int
+	Confirmed monitor.Status
+	Raw       monitor.Status
+
+	SensorFault bool
+	Rejected    int
+
+	// Quarantined: the breaker was open (or the device retired) this round,
+	// so no supervised monitoring ran.
+	Quarantined bool
+	// Probe/ProbeOK: a half-open breaker probe ran this round and its
+	// outcome.
+	Probe   bool
+	ProbeOK bool
+	// Tripped: this round's sensor fault opened the breaker.
+	Tripped bool
+
+	Repaired, Recovered, GaveUp bool
+	Attempts                    int // repair cycles spent this round
+	BudgetLeft                  int
+	Retired                     bool
+}
+
+// String renders the result on one line.
+func (r RoundResult) String() string {
+	switch {
+	case r.Retired:
+		return fmt.Sprintf("%s r%d: RETIRED (budget exhausted) confirmed=%s", r.Device, r.Round, r.Confirmed)
+	case r.Probe:
+		verdict := "failed, breaker re-opened"
+		if r.ProbeOK {
+			verdict = "ok, breaker closed"
+		}
+		return fmt.Sprintf("%s r%d: quarantine probe %s", r.Device, r.Round, verdict)
+	case r.Tripped:
+		return fmt.Sprintf("%s r%d: raw=%s sensor fault → breaker TRIPPED, quarantined", r.Device, r.Round, r.Raw)
+	case r.Quarantined:
+		return fmt.Sprintf("%s r%d: quarantined (breaker open)", r.Device, r.Round)
+	default:
+		extra := ""
+		if r.Repaired {
+			extra = fmt.Sprintf(" repaired(attempts=%d recovered=%v budgetLeft=%d)", r.Attempts, r.Recovered, r.BudgetLeft)
+		}
+		if r.Tripped {
+			extra += " [breaker TRIPPED]"
+		}
+		return fmt.Sprintf("%s r%d: confirmed=%s raw=%s%s", r.Device, r.Round, r.Confirmed, r.Raw, extra)
+	}
+}
+
+// Supervisor runs the fleet. It is not safe for concurrent use: Tick,
+// Dispatch and Complete belong to one owner goroutine (the internal worker
+// pool never escapes a Tick call).
+type Supervisor struct {
+	cfg     Config
+	jw      *journal.Writer
+	order   []string
+	states  map[string]*deviceState
+	router  *Router
+	round   int
+	resumes int
+}
+
+// New commissions a supervisor over devices. jw may be nil (no durability:
+// acceptable for tests and throwaway sims, never for deployment). The
+// commissioning itself is journaled so a fleet that crashes before its first
+// tick still replays.
+func New(devices []Device, cfg Config, jw *journal.Writer) (*Supervisor, error) {
+	s, err := build(devices, cfg, jw)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.appendRecord(recordCommission); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Resume reconstructs a supervisor from a crashed predecessor's journal
+// records (as returned by journal.OpenAppend or journal.Replay on the same
+// file; pass the reopened writer as jw so journaling continues). Every
+// journaled device must be present in devices and its freshly captured
+// commission fingerprint must match the journaled one — a mismatch means
+// the monitor would be comparing the accelerator against a model the
+// journal was not written for, and the resume is refused. Devices absent
+// from the journal are commissioned fresh.
+func Resume(devices []Device, cfg Config, jw *journal.Writer, payloads [][]byte) (*Supervisor, error) {
+	snaps, round, err := ReplayRecords(payloads)
+	if err != nil {
+		return nil, err
+	}
+	s, err := build(devices, cfg, jw)
+	if err != nil {
+		return nil, err
+	}
+	s.round = round
+	s.resumes = 1
+	for id, snap := range snaps {
+		ds, ok := s.states[id]
+		if !ok {
+			return nil, fmt.Errorf("fleet: journal names device %q not present in the fleet", id)
+		}
+		if got := ds.rt.Monitor().Fingerprint(); got != snap.Fingerprint {
+			return nil, fmt.Errorf("fleet: device %q commission fingerprint %x does not match journaled %x — wrong reference model",
+				id, got, snap.Fingerprint)
+		}
+		if err := ds.rt.RestoreState(snap.State); err != nil {
+			return nil, fmt.Errorf("fleet: device %q: %w", id, err)
+		}
+		ds.budget = snap.Budget
+		ds.breaker = snap.Breaker
+		ds.retired = snap.Retired
+	}
+	s.router.Update(s.servingEntries())
+	return s, nil
+}
+
+// build commissions runtimes without journaling.
+func build(devices []Device, cfg Config, jw *journal.Writer) (*Supervisor, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("fleet: no devices")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(len(devices))
+	s := &Supervisor{
+		cfg:    cfg,
+		jw:     jw,
+		states: make(map[string]*deviceState, len(devices)),
+		router: NewRouter(cfg.MinServing),
+	}
+	for _, dev := range devices {
+		id := dev.ID()
+		if id == "" {
+			return nil, errors.New("fleet: device with empty ID")
+		}
+		if _, dup := s.states[id]; dup {
+			return nil, fmt.Errorf("fleet: duplicate device ID %q", id)
+		}
+		mon, err := monitor.New(dev.Reference(), dev.Patterns(), nil, cfg.Monitor)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: commission %s: %w", id, err)
+		}
+		rt, err := health.New(mon, cfg.Health)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: commission %s: %w", id, err)
+		}
+		s.order = append(s.order, id)
+		s.states[id] = &deviceState{dev: dev, rt: rt, budget: cfg.RepairBudget}
+	}
+	s.router.Update(s.servingEntries())
+	return s, nil
+}
+
+// Tick runs one supervised monitoring round across the fleet: every device
+// concurrently (bounded by cfg.Workers), then one atomic group-commit
+// journal record, then a router update. Results are returned in
+// commissioning order. A journaling failure is returned after the round's
+// state is already updated in memory — the caller must treat it as fatal
+// for durability guarantees.
+func (s *Supervisor) Tick() ([]RoundResult, error) {
+	s.round++
+	results := make([]RoundResult, len(s.order))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.cfg.Workers)
+	for i, id := range s.order {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, ds *deviceState) {
+			defer func() { <-sem; wg.Done() }()
+			results[i] = s.tickDevice(ds)
+		}(i, s.states[id])
+	}
+	wg.Wait()
+
+	err := s.appendRecord(recordTick)
+	s.router.Update(s.servingEntries())
+	return results, err
+}
+
+// tickDevice runs one device's share of a tick. It touches only ds (and the
+// device behind it), so devices proceed in parallel safely.
+func (s *Supervisor) tickDevice(ds *deviceState) RoundResult {
+	res := RoundResult{Device: ds.dev.ID(), Round: s.round}
+
+	if ds.retired {
+		res.Quarantined, res.Retired = true, true
+		res.Confirmed = ds.rt.Confirmed()
+		res.BudgetLeft = ds.budget
+		return res
+	}
+
+	switch ds.breaker.State {
+	case BreakerOpen:
+		if !ds.breaker.Due(s.round, s.cfg.BreakerCooldown) {
+			res.Quarantined = true
+			res.Confirmed = ds.rt.Confirmed()
+			res.BudgetLeft = ds.budget
+			return res
+		}
+		ds.breaker.BeginProbe()
+		fallthrough
+	case BreakerHalfOpen:
+		// cooled down: one cheap single-attempt probe instead of a full
+		// retry-burning round
+		res.Probe = true
+		err := ds.rt.Probe(ds.dev.Infer())
+		res.ProbeOK = err == nil
+		ds.breaker.ProbeResult(res.ProbeOK, s.round)
+		res.Quarantined = !res.ProbeOK
+		res.Confirmed = ds.rt.Confirmed()
+		res.BudgetLeft = ds.budget
+		return res
+	}
+
+	grant := ds.budget
+	if grant > s.cfg.Health.MaxRepairAttempts {
+		grant = s.cfg.Health.MaxRepairAttempts
+	}
+	ep := ds.rt.SuperviseBudget(ds.dev.Infer(), ds.dev.Repairer(), grant)
+	ds.budget -= len(ep.Attempts)
+
+	res.Confirmed = ds.rt.Confirmed()
+	res.Raw = ep.Trigger.Raw
+	res.SensorFault = ep.Trigger.SensorFault
+	res.Rejected = ep.Trigger.Rejected
+	res.Repaired = ep.Repaired()
+	res.Recovered = ep.Recovered
+	res.GaveUp = ep.GaveUp
+	res.Attempts = len(ep.Attempts)
+	res.BudgetLeft = ds.budget
+
+	res.Tripped = ds.breaker.ObserveRound(ep.Trigger.SensorFault, s.round, s.cfg.BreakerOpenAfter)
+	res.Quarantined = res.Tripped
+	if ep.GaveUp && ds.budget <= 0 {
+		// the lifetime budget is gone and the device still cannot verify
+		// clean: permanent quarantine, hardware service required
+		ds.retired = true
+		res.Retired = true
+	}
+	return res
+}
+
+// appendRecord journals the fleet's full durable state as one atomic record
+// and syncs it to stable storage (group commit).
+func (s *Supervisor) appendRecord(kind string) error {
+	if s.jw == nil {
+		return nil
+	}
+	rec := Record{Type: kind, Round: s.round, Devices: make([]DeviceRecord, 0, len(s.order))}
+	for _, id := range s.order {
+		ds := s.states[id]
+		rec.Devices = append(rec.Devices, DeviceRecord{
+			Device:      id,
+			Fingerprint: ds.rt.Monitor().Fingerprint(),
+			State:       ds.rt.ExportState(),
+			Budget:      ds.budget,
+			Breaker:     ds.breaker,
+			Retired:     ds.retired,
+		})
+	}
+	payload, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if err := s.jw.Append(payload); err != nil {
+		return err
+	}
+	return s.jw.Sync()
+}
+
+// servingEntries lists the devices eligible to serve traffic right now:
+// breaker closed, not retired, confirmed status at worst Degraded.
+func (s *Supervisor) servingEntries() []RouteEntry {
+	entries := make([]RouteEntry, 0, len(s.order))
+	for _, id := range s.order {
+		ds := s.states[id]
+		if ds.retired || ds.breaker.State != BreakerClosed {
+			continue
+		}
+		if st := ds.rt.Confirmed(); st <= monitor.Degraded {
+			entries = append(entries, RouteEntry{ID: id, Status: st})
+		}
+	}
+	return entries
+}
+
+// Dispatch routes one inference request through the health-aware router.
+// ok=false means the fleet is shedding load.
+func (s *Supervisor) Dispatch() (id string, ok bool) { return s.router.Dispatch() }
+
+// Complete retires one in-flight request from id.
+func (s *Supervisor) Complete(id string) { s.router.Complete(id) }
+
+// Router exposes the router for drain/in-flight inspection.
+func (s *Supervisor) Router() *Router { return s.router }
+
+// Round returns the number of completed fleet ticks.
+func (s *Supervisor) Round() int { return s.round }
+
+// Resumed reports whether this supervisor was reconstructed from a journal.
+func (s *Supervisor) Resumed() bool { return s.resumes > 0 }
+
+// DeviceIDs returns the fleet members in commissioning order.
+func (s *Supervisor) DeviceIDs() []string { return append([]string(nil), s.order...) }
+
+// Serving returns the IDs currently eligible for traffic.
+func (s *Supervisor) Serving() []string {
+	entries := s.servingEntries()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Quarantined returns the IDs currently not serving: breaker open/half-open
+// or retired.
+func (s *Supervisor) Quarantined() []string {
+	var out []string
+	for _, id := range s.order {
+		ds := s.states[id]
+		if ds.retired || ds.breaker.State != BreakerClosed {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Snapshot captures every device's current durable state, keyed by ID —
+// the in-memory twin of what a tick record journals. Crash/restart soaks
+// compare Snapshot maps between a replayed fleet and an uninterrupted one.
+func (s *Supervisor) Snapshot() map[string]DeviceSnapshot {
+	out := make(map[string]DeviceSnapshot, len(s.order))
+	for _, id := range s.order {
+		ds := s.states[id]
+		out[id] = DeviceSnapshot{
+			Round:       s.round,
+			Fingerprint: ds.rt.Monitor().Fingerprint(),
+			State:       ds.rt.ExportState(),
+			Budget:      ds.budget,
+			Breaker:     ds.breaker,
+			Retired:     ds.retired,
+		}
+	}
+	return out
+}
+
+// StatusOf returns the confirmed status of one device (and whether the ID
+// is known).
+func (s *Supervisor) StatusOf(id string) (monitor.Status, bool) {
+	ds, ok := s.states[id]
+	if !ok {
+		return 0, false
+	}
+	return ds.rt.Confirmed(), true
+}
+
+// RuntimeOf exposes a device's hardened runtime for inspection (read-mostly).
+func (s *Supervisor) RuntimeOf(id string) (*health.Runtime, bool) {
+	ds, ok := s.states[id]
+	if !ok {
+		return nil, false
+	}
+	return ds.rt, true
+}

@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"reramtest/internal/health"
+)
+
+// DeviceRecord is one device's durable state inside a journal record:
+// hysteresis snapshot, remaining repair budget, breaker position,
+// retirement flag and the current commission fingerprint (stimulus patterns
+// + golden confidences hashed bit-exactly; it moves when a retraining
+// repair recommissions the monitor).
+type DeviceRecord struct {
+	Device      string       `json:"device"`
+	Fingerprint uint64       `json:"fingerprint"`
+	State       health.State `json:"state"`
+	Budget      int          `json:"budget"`
+	Breaker     Breaker      `json:"breaker"`
+	Retired     bool         `json:"retired,omitempty"`
+}
+
+// Record is one journaled durable state transition for the whole fleet.
+// Two kinds exist today:
+//
+//   - "commission": written once when the supervisor first arms the fleet.
+//   - "tick": written after every supervised fleet round.
+//
+// A tick is journaled as ONE record covering every device — a group commit.
+// The CRC framing of internal/journal makes each record atomic, so a crash
+// mid-write tears the whole tick off, never half a fleet: after replay every
+// device agrees on which round was the last durable one. Records are JSON
+// inside the framing: the framing proves integrity, the JSON keeps the
+// schema greppable in the field. Replay is last-record-wins.
+type Record struct {
+	Type    string         `json:"type"`
+	Round   int            `json:"round"`
+	Devices []DeviceRecord `json:"devices"`
+}
+
+// Record types.
+const (
+	recordCommission = "commission"
+	recordTick       = "tick"
+)
+
+// encodeRecord renders a record as its journal payload.
+func encodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encode %s record: %w", rec.Type, err)
+	}
+	return payload, nil
+}
+
+// DeviceSnapshot is the replayed durable state of one device: what the
+// journal proves the supervisor knew when it last reached stable storage.
+type DeviceSnapshot struct {
+	Round       int
+	Fingerprint uint64
+	State       health.State
+	Budget      int
+	Breaker     Breaker
+	Retired     bool
+}
+
+// Validate rejects snapshots that could not have been journaled by a
+// correct supervisor — the defense in depth above the journal's CRC layer.
+func (s DeviceSnapshot) Validate() error {
+	if s.Round < 0 {
+		return fmt.Errorf("fleet: snapshot round %d < 0", s.Round)
+	}
+	if s.Budget < 0 {
+		return fmt.Errorf("fleet: snapshot budget %d < 0", s.Budget)
+	}
+	if err := s.State.Validate(); err != nil {
+		return err
+	}
+	return s.Breaker.Validate()
+}
+
+// ReplayRecords folds journal payloads into per-device snapshots (later
+// records win) and returns the last fully committed round. Unknown record
+// types are skipped for forward compatibility; a payload that does not parse
+// as JSON is an error — the CRC framing already proved it was written
+// intact, so garbage here means a software bug, not a torn write.
+func ReplayRecords(payloads [][]byte) (snaps map[string]DeviceSnapshot, round int, err error) {
+	snaps = make(map[string]DeviceSnapshot)
+	for i, p := range payloads {
+		var rec Record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return nil, 0, fmt.Errorf("fleet: journal record %d unparseable: %w", i, err)
+		}
+		switch rec.Type {
+		case recordCommission, recordTick:
+			if rec.Round < 0 {
+				return nil, 0, fmt.Errorf("fleet: journal record %d: negative round %d", i, rec.Round)
+			}
+			for _, d := range rec.Devices {
+				if d.Device == "" {
+					return nil, 0, fmt.Errorf("fleet: journal record %d names no device", i)
+				}
+				snap := DeviceSnapshot{
+					Round:       rec.Round,
+					Fingerprint: d.Fingerprint,
+					State:       d.State,
+					Budget:      d.Budget,
+					Breaker:     d.Breaker,
+					Retired:     d.Retired,
+				}
+				if err := snap.Validate(); err != nil {
+					return nil, 0, fmt.Errorf("fleet: journal record %d for %s: %w", i, d.Device, err)
+				}
+				snaps[d.Device] = snap
+			}
+			round = rec.Round
+		default:
+			// future record type: skip, do not fail the whole replay
+		}
+	}
+	return snaps, round, nil
+}

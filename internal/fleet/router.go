@@ -1,0 +1,114 @@
+package fleet
+
+import "reramtest/internal/monitor"
+
+// RouteEntry is one serving-eligible accelerator the supervisor offers the
+// router after a tick: breaker closed, not retired, confirmed status at
+// worst Degraded.
+type RouteEntry struct {
+	ID     string
+	Status monitor.Status
+}
+
+// Router dispatches inference requests across the serving members of the
+// fleet with health-aware weighting: a Healthy accelerator receives twice
+// the share of a Degraded-but-serving one, and devices the health layer has
+// condemned (Impaired/Critical, quarantined, retired) receive nothing — the
+// supervisor never even offers them. When fewer than minServing devices
+// remain the router sheds load outright rather than overdriving survivors or
+// routing into known-bad silicon.
+//
+// The router also carries per-device in-flight counts so a device leaving
+// the serving set drains visibly: no new requests land on it, and the
+// supervisor can wait for Drained before handing it to repair or service.
+//
+// Like the supervisor that owns it, a Router is not safe for concurrent use.
+type Router struct {
+	minServing int
+	schedule   []string // weighted round-robin expansion
+	cursor     int
+	inflight   map[string]int
+	routed     int
+	sheds      int
+}
+
+// NewRouter returns a router that sheds when fewer than minServing devices
+// serve (minServing < 1 is treated as 1).
+func NewRouter(minServing int) *Router {
+	if minServing < 1 {
+		minServing = 1
+	}
+	return &Router{minServing: minServing, inflight: make(map[string]int)}
+}
+
+// weightFor maps a serving status to its dispatch weight.
+func weightFor(s monitor.Status) int {
+	switch s {
+	case monitor.Healthy:
+		return 2
+	case monitor.Degraded:
+		return 1
+	default:
+		return 0 // Impaired/Critical never serve
+	}
+}
+
+// Update rebuilds the dispatch schedule from this tick's serving set. Order
+// is preserved (the supervisor passes devices in commissioning order), so
+// the schedule — and therefore routing — is deterministic.
+func (r *Router) Update(entries []RouteEntry) {
+	r.schedule = r.schedule[:0]
+	serving := 0
+	for _, e := range entries {
+		w := weightFor(e.Status)
+		if w == 0 {
+			continue
+		}
+		serving++
+		for i := 0; i < w; i++ {
+			r.schedule = append(r.schedule, e.ID)
+		}
+	}
+	if serving < r.minServing {
+		// graceful shed: better to reject load than to route it into a fleet
+		// too damaged to answer honestly
+		r.schedule = r.schedule[:0]
+	}
+	if len(r.schedule) == 0 {
+		r.cursor = 0
+	} else {
+		r.cursor %= len(r.schedule)
+	}
+}
+
+// Dispatch routes one request: it returns the chosen device, or ok=false
+// when the fleet is shedding load.
+func (r *Router) Dispatch() (id string, ok bool) {
+	if len(r.schedule) == 0 {
+		r.sheds++
+		return "", false
+	}
+	id = r.schedule[r.cursor]
+	r.cursor = (r.cursor + 1) % len(r.schedule)
+	r.inflight[id]++
+	r.routed++
+	return id, true
+}
+
+// Complete retires one in-flight request from id.
+func (r *Router) Complete(id string) {
+	if r.inflight[id] > 0 {
+		r.inflight[id]--
+	}
+}
+
+// InFlight returns the number of requests currently outstanding on id.
+func (r *Router) InFlight(id string) int { return r.inflight[id] }
+
+// Drained reports whether id has no outstanding requests — a quarantined
+// device must reach this state before invasive repair or replacement.
+func (r *Router) Drained(id string) bool { return r.inflight[id] == 0 }
+
+// Stats returns lifetime dispatch counters: requests routed and requests
+// shed.
+func (r *Router) Stats() (routed, sheds int) { return r.routed, r.sheds }

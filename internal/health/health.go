@@ -89,6 +89,9 @@ func (c Config) Validate() error {
 	if c.BackoffBase < 0 || c.BackoffMax < 0 {
 		return fmt.Errorf("health: backoff durations must be ≥ 0")
 	}
+	if c.BackoffBase > c.BackoffMax {
+		return fmt.Errorf("health: BackoffBase %v exceeds BackoffMax %v", c.BackoffBase, c.BackoffMax)
+	}
 	if c.MaxRepairAttempts < 1 {
 		return fmt.Errorf("health: MaxRepairAttempts must be ≥ 1, got %d", c.MaxRepairAttempts)
 	}

@@ -101,6 +101,17 @@ func (e Episode) String() string {
 // until the accelerator verifies clean, the escalation ladder tops out, or
 // the attempt budget runs dry. It never panics.
 func (rt *Runtime) Supervise(accel monitor.Infer, rep Repairer) Episode {
+	return rt.SuperviseBudget(accel, rep, rt.cfg.MaxRepairAttempts)
+}
+
+// SuperviseBudget is Supervise with an explicit cap on this episode's
+// (apply, verify) cycles, for callers that account repair spend across
+// episodes — the fleet supervisor grants each episode
+// min(MaxRepairAttempts, lifetime budget remaining). With budget ≤ 0 no
+// repair is attempted: a confirmed-damaged round then reports GaveUp
+// immediately, which is the fleet's cue to retire the device to hardware
+// service.
+func (rt *Runtime) SuperviseBudget(accel monitor.Infer, rep Repairer, budget int) Episode {
 	round := rt.Check(accel)
 	ep := Episode{Trigger: round, Final: rt.confirmed, Recommendation: "none"}
 	if round.Confirmed < monitor.Degraded || rep == nil {
@@ -111,7 +122,15 @@ func (rt *Runtime) Supervise(accel monitor.Infer, rep Repairer) Episode {
 	if action == repair.NoAction {
 		return ep
 	}
-	for len(ep.Attempts) < rt.cfg.MaxRepairAttempts {
+	if budget <= 0 {
+		ep.GaveUp = true
+		ep.Recommendation = "hardware service: repair budget exhausted"
+		return ep
+	}
+	if budget > rt.cfg.MaxRepairAttempts {
+		budget = rt.cfg.MaxRepairAttempts
+	}
+	for len(ep.Attempts) < budget {
 		att := Attempt{Action: action}
 		newRef, err := rep.Apply(action)
 		if err != nil {

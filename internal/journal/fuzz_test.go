@@ -1,0 +1,51 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeAll throws arbitrary bytes at the record decoder. The decoder
+// guards the crash-recovery path, so its contract under hostile input is
+// absolute: never panic, never consume more bytes than exist, and never
+// "replay" a record that the framing does not prove intact — formalised as
+// the prefix invariant: re-encoding the decoded records must reproduce
+// exactly the consumed prefix of the input.
+func FuzzDecodeAll(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode([]byte("one record")))
+	f.Add(append(Encode([]byte("a")), Encode([]byte("b"))...))
+	f.Add(Encode(nil))
+	// torn tail: a record cut mid-payload
+	torn := Encode([]byte("torn-in-half"))
+	f.Add(append(Encode([]byte("intact")), torn[:len(torn)-5]...))
+	// bit-flipped payload
+	flipped := Encode([]byte("flip-me-please"))
+	flipped[len(flipped)-2] ^= 0x01
+	f.Add(flipped)
+	// garbage and a frame that lies about its length
+	f.Add([]byte{recordMagic, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1, 2, 3})
+	f.Add(bytes.Repeat([]byte{recordMagic}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, consumed := DecodeAll(data)
+		if consumed < 0 || consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		var reencoded []byte
+		for _, r := range records {
+			if len(r) > MaxRecord {
+				t.Fatalf("decoded record of %d bytes exceeds MaxRecord", len(r))
+			}
+			reencoded = append(reencoded, Encode(r)...)
+		}
+		if !bytes.Equal(reencoded, data[:consumed]) {
+			t.Fatalf("prefix invariant violated: %d records re-encode to %d bytes, consumed %d",
+				len(records), len(reencoded), consumed)
+		}
+		// the unconsumed remainder must not start with an intact frame
+		if rest, n := DecodeAll(data[consumed:]); n != 0 || len(rest) != 0 {
+			t.Fatalf("decoder stopped early: %d more records after consumed=%d", len(rest), consumed)
+		}
+	})
+}

@@ -18,7 +18,9 @@
 package monitor
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"strings"
@@ -174,6 +176,31 @@ func MustNew(ideal *nn.Network, patterns *testgen.PatternSet, calib []CalibPoint
 // History, calibration and thresholds are preserved.
 func (m *Monitor) Recommission(ideal *nn.Network) {
 	m.golden = detect.Capture(ideal, m.golden.Patterns)
+}
+
+// Fingerprint digests the commission: the stimulus patterns and the golden
+// confidences captured from the reference model, hashed bit-exactly. Two
+// monitors with equal fingerprints will classify identical readouts
+// identically, so a crash-recovery journal records the fingerprint and a
+// replayed supervisor verifies its freshly recommissioned monitors against
+// it — catching the silent failure mode where a restart commissions against
+// the wrong (stale or retrained-away) reference model.
+func (m *Monitor) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	writeF := func(v float64) {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	binary.LittleEndian.PutUint64(b[:], uint64(m.golden.Classes))
+	h.Write(b[:])
+	for _, v := range m.golden.Patterns.X.Data() {
+		writeF(v)
+	}
+	for _, v := range m.golden.Probs.Data() {
+		writeF(v)
+	}
+	return h.Sum64()
 }
 
 // Report is the outcome of one concurrent-test round.
