@@ -2,7 +2,11 @@
 #
 #   make check   vet + build + full test suite + race detector on the
 #                hardened-runtime packages + short campaign and fleet soak
-#                smokes + a short fuzz pass over the journal decoder
+#                smokes + a short fuzz pass over the journal decoder + the
+#                batched-inference performance gate (bench-smoke)
+#   make bench-smoke  gate the batched monitor readout against the committed
+#                baseline ratios (min speedup over the serial path, max
+#                allocs/op); fails on regression
 #   make race    race detector over the whole tree (slow: retrains models
 #                under the race runtime)
 #   make soak    the full 20-campaign acceptance soak with scorecard
@@ -14,12 +18,13 @@ GO ?= go
 # every check. `make race` covers the rest.
 RACE_PKGS = ./internal/health/... ./internal/campaign/... ./internal/monitor/... \
             ./internal/detect/... ./internal/stats/... ./internal/repair/... \
-            ./internal/fleet/... ./internal/journal/...
+            ./internal/fleet/... ./internal/journal/... ./internal/engine/... \
+            ./internal/tensor/...
 
 .PHONY: check vet build test race-fast race soak-smoke soak \
-        fleet-soak-smoke fleet-soak fuzz-short
+        fleet-soak-smoke fleet-soak fuzz-short bench-smoke
 
-check: vet build test race-fast soak-smoke fleet-soak-smoke fuzz-short
+check: vet build test race-fast soak-smoke fleet-soak-smoke fuzz-short bench-smoke
 	@echo "check: PASS"
 
 vet:
@@ -58,3 +63,9 @@ fleet-soak:
 # corpus under internal/journal/testdata/fuzz seeds it)
 fuzz-short:
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzDecodeAll -fuzztime=10s
+
+# performance gate on the batch-first inference engine: the batched monitor
+# readout must stay bit-identical to the serial path, beat it by the
+# committed ratio, and allocate nothing in steady state
+bench-smoke:
+	$(GO) run ./cmd/benchsmoke

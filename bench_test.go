@@ -11,13 +11,17 @@
 package reramtest_test
 
 import (
+	"fmt"
 	"os"
 	"sync"
 	"testing"
 
 	"reramtest/internal/detect"
+	"reramtest/internal/engine"
 	"reramtest/internal/experiments"
 	"reramtest/internal/faults"
+	"reramtest/internal/models"
+	"reramtest/internal/nn"
 	"reramtest/internal/reram"
 	"reramtest/internal/rng"
 	"reramtest/internal/tensor"
@@ -293,6 +297,82 @@ func BenchmarkAblationADCBits(b *testing.B) {
 		r := e.AblationADCBits()
 		if len(r.Accuracy) == 0 {
 			b.Fatal("empty ADC ablation")
+		}
+	}
+}
+
+// batchBenchModels builds the serial-vs-batched benchmark workloads. These
+// run on untrained weights (inference cost is weight-value independent) so
+// the comparison needs no trained-weight cache and never skips.
+func batchBenchModels() []struct {
+	name string
+	net  *nn.Network
+} {
+	return []struct {
+		name string
+		net  *nn.Network
+	}{
+		{"mlp", models.MLP(rng.New(1), 16, []int{24, 16}, 6)},
+		{"lenet5", models.LeNet5(rng.New(2))},
+	}
+}
+
+// BenchmarkForwardSerial measures the pre-engine monitor readout: each
+// pattern cloned through the per-sample training-path forward plus softmax.
+func BenchmarkForwardSerial(b *testing.B) {
+	for _, m := range batchBenchModels() {
+		for _, n := range []int{1, 16, 64} {
+			b.Run(fmt.Sprintf("%s/B%d", m.name, n), func(b *testing.B) {
+				x := tensor.RandUniform(rng.New(3), 0, 1, n, m.net.InDim())
+				rows := make([]*tensor.Tensor, n)
+				for s := 0; s < n; s++ {
+					rows[s] = tensor.FromSlice(x.Data()[s*m.net.InDim():(s+1)*m.net.InDim()], 1, m.net.InDim())
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, row := range rows {
+						nn.Softmax(m.net.Forward(row))
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkForwardBatched measures the same readout through a compiled
+// batch-first engine: one Probs call over the whole batch, reusing
+// workspaces (0 allocs/op in steady state — asserted by
+// TestBatchedForwardAllocFree).
+func BenchmarkForwardBatched(b *testing.B) {
+	for _, m := range batchBenchModels() {
+		eng := engine.MustCompile(m.net, engine.Options{})
+		for _, n := range []int{1, 16, 64} {
+			b.Run(fmt.Sprintf("%s/B%d", m.name, n), func(b *testing.B) {
+				x := tensor.RandUniform(rng.New(3), 0, 1, n, m.net.InDim())
+				eng.Probs(x) // warm the workspaces outside the timer
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Probs(x)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedForwardAllocFree asserts the engine's steady-state contract on
+// the benchmark workloads: after warmup, a same-size batch performs zero
+// allocations per readout.
+func TestBatchedForwardAllocFree(t *testing.T) {
+	for _, m := range batchBenchModels() {
+		eng := engine.MustCompile(m.net, engine.Options{})
+		for _, n := range []int{1, 16, 64} {
+			x := tensor.RandUniform(rng.New(4), 0, 1, n, m.net.InDim())
+			eng.Probs(x) // warmup sizes the workspaces for this batch
+			if allocs := testing.AllocsPerRun(20, func() { eng.Probs(x) }); allocs != 0 {
+				t.Errorf("%s B=%d: %v allocs/op in steady state, want 0", m.name, n, allocs)
+			}
 		}
 	}
 }

@@ -1,0 +1,114 @@
+// Command benchsmoke is the CI performance gate for the batch-first
+// inference engine. It rebuilds the default monitoring workload (the fleet
+// plant's MLP shape with its 16-pattern concurrent-test batch), verifies the
+// batched readout is bit-identical to the serial per-sample path, then
+// measures both and compares against the committed baseline
+// (cmd/benchsmoke/testdata/bench_baseline.json).
+//
+// The baseline is expressed as machine-independent ratios — minimum
+// batched-over-serial speedup and maximum steady-state allocations per
+// readout — so the gate is stable across host CPUs and core counts (the
+// speedup on a single-core runner comes from allocation avoidance and
+// workspace reuse, not parallelism). Exit status 0 means the gate holds;
+// 1 means a regression (or a bit-identity violation, which fails first and
+// loudest).
+//
+//	go run ./cmd/benchsmoke [-baseline path]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"reramtest/internal/engine"
+	"reramtest/internal/models"
+	"reramtest/internal/nn"
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+// Baseline is the committed performance contract.
+type Baseline struct {
+	// MinSpeedup is the minimum serial/batched wall-time ratio for one full
+	// monitor readout (all patterns through the model plus softmax).
+	MinSpeedup float64 `json:"min_speedup"`
+	// MaxAllocsPerOp caps steady-state heap allocations per batched readout.
+	MaxAllocsPerOp float64 `json:"max_allocs_per_op"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "cmd/benchsmoke/testdata/bench_baseline.json", "baseline ratios to gate against")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(1)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke: parse baseline:", err)
+		os.Exit(1)
+	}
+
+	// the default plant workload: untrained weights cost the same to run as
+	// trained ones, so the gate needs no weight cache
+	const patterns, in, classes = 16, 16, 6
+	net := models.MLP(rng.New(7), in, []int{24, 16}, classes)
+	x := tensor.RandUniform(rng.New(8), 0, 1, patterns, in)
+	eng := engine.MustCompile(net, engine.Options{})
+
+	serial := func(dst *tensor.Tensor) {
+		dd := dst.Data()
+		for s := 0; s < patterns; s++ {
+			row := tensor.FromSlice(x.Data()[s*in:(s+1)*in], 1, in)
+			probs := nn.Softmax(net.Forward(row))
+			copy(dd[s*classes:(s+1)*classes], probs.Data())
+		}
+	}
+
+	// hard gate first: the batched readout must be bit-identical to the
+	// serial one — a fast engine that moves a single confidence bit would
+	// silently shift every monitor distance in the fleet
+	want := tensor.New(patterns, classes)
+	serial(want)
+	if !eng.Probs(x).Equal(want) {
+		fmt.Fprintln(os.Stderr, "benchsmoke: FAIL batched readout is not bit-identical to the serial path")
+		os.Exit(1)
+	}
+
+	scratch := tensor.New(patterns, classes)
+	serialRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			serial(scratch)
+		}
+	})
+	eng.Probs(x) // warm the workspaces so the timed loop is steady state
+	batchedRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.Probs(x)
+		}
+	})
+	allocs := testing.AllocsPerRun(50, func() { eng.Probs(x) })
+
+	speedup := float64(serialRes.NsPerOp()) / float64(batchedRes.NsPerOp())
+	fmt.Printf("benchsmoke: serial %d ns/op, batched %d ns/op, speedup %.2fx (min %.2fx), allocs/op %.0f (max %.0f)\n",
+		serialRes.NsPerOp(), batchedRes.NsPerOp(), speedup, base.MinSpeedup, allocs, base.MaxAllocsPerOp)
+
+	failed := false
+	if speedup < base.MinSpeedup {
+		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL speedup %.2fx below baseline %.2fx\n", speedup, base.MinSpeedup)
+		failed = true
+	}
+	if allocs > base.MaxAllocsPerOp {
+		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL %.0f allocs/op above baseline %.0f\n", allocs, base.MaxAllocsPerOp)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchsmoke: PASS")
+}

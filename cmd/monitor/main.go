@@ -29,6 +29,7 @@ import (
 	"os"
 
 	"reramtest/internal/campaign"
+	"reramtest/internal/engine"
 	"reramtest/internal/experiments"
 	"reramtest/internal/monitor"
 	"reramtest/internal/nn"
@@ -88,6 +89,13 @@ func main() {
 	}
 	fmt.Printf("monitor armed with %d C-TP patterns\n\n", mon.PatternCount())
 
+	// readout refreshes the cached weight-level view and returns the batched
+	// inference plan bound to it; the whole demo shares one set of workspaces
+	roEng := engine.MustCompile(accel.RefreshReadout(), engine.Options{})
+	readout := func() *engine.Engine {
+		accel.RefreshReadout()
+		return roEng
+	}
 	infer := func() monitor.Infer {
 		if *analog {
 			return func(x *tensor.Tensor) *tensor.Tensor {
@@ -95,14 +103,14 @@ func main() {
 			}
 		}
 		return func(x *tensor.Tensor) *tensor.Tensor {
-			return nn.Softmax(accel.ReadoutNetwork().Forward(x))
+			return readout().Probs(x)
 		}
 	}()
 
 	eval := env.DigitsTest.Head(300)
 	for s := 0; s < *steps; s++ {
 		rep := mon.Check(infer)
-		trueAcc := accel.ReadoutNetwork().Accuracy(eval.X, eval.Y, 64)
+		trueAcc := readout().Accuracy(eval.X, eval.Y, 64)
 		fmt.Printf("t=%6.0fh %s | true accuracy %.1f%%\n", accel.Hours(), rep, 100*trueAcc)
 
 		if rep.Status >= monitor.Impaired {

@@ -22,6 +22,7 @@ import (
 	"math"
 	"os"
 
+	"reramtest/internal/engine"
 	"reramtest/internal/experiments"
 	"reramtest/internal/health"
 	"reramtest/internal/monitor"
@@ -38,15 +39,27 @@ type device struct {
 	ref   *nn.Network
 	env   *experiments.Env
 	rcfg  reram.Config
+	eng   *engine.Engine // batched plan over the cached readout network
+}
+
+// engine refreshes the accelerator's cached readout and returns the batched
+// inference plan bound to it, rebinding after a module replacement swaps the
+// accelerator.
+func (d *device) engine() *engine.Engine {
+	ro := d.accel.RefreshReadout()
+	if d.eng == nil || d.eng.Rebind(ro) != nil {
+		d.eng = engine.MustCompile(ro, engine.Options{})
+	}
+	return d.eng
 }
 
 func (d *device) infer(x *tensor.Tensor) *tensor.Tensor {
-	return nn.Softmax(d.accel.ReadoutNetwork().Forward(x))
+	return d.engine().Probs(x)
 }
 
 func (d *device) accuracy() float64 {
 	eval := d.env.DigitsTest.Head(300)
-	return d.accel.ReadoutNetwork().Accuracy(eval.X, eval.Y, 64)
+	return d.engine().Accuracy(eval.X, eval.Y, 64)
 }
 
 // Apply executes one planned repair action against the hardware.

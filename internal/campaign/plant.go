@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"reramtest/internal/dataset"
+	"reramtest/internal/engine"
 	"reramtest/internal/models"
 	"reramtest/internal/monitor"
 	"reramtest/internal/nn"
@@ -175,6 +176,12 @@ type Plant struct {
 	round                  int // current campaign round, set by the runner
 	glitchMode             GlitchMode
 	glitchFrom, glitchUpto int // active round window [from, upto)
+
+	// eng is the compiled inference plan over the accelerator's cached
+	// readout network; every monitored readout and fidelity probe reuses its
+	// workspaces. It rebinds (or recompiles) when a module replacement swaps
+	// the accelerator out from under it.
+	eng *engine.Engine
 }
 
 // NewPlant programs the shared workload model onto a fresh simulated
@@ -223,11 +230,27 @@ func (p *Plant) glitchActive() bool {
 	return p.round >= p.glitchFrom && p.round < p.glitchUpto
 }
 
+// readoutEngine refreshes the accelerator's cached readout network and
+// returns the inference plan bound to it. The refresh mutates parameters in
+// place, so in steady state the existing binding just sees the new weights;
+// after a module replacement the new accelerator's readout rebinds into the
+// same compiled plan (same architecture), reusing every workspace.
+func (p *Plant) readoutEngine() *engine.Engine {
+	ro := p.accel.RefreshReadout()
+	if p.eng == nil || p.eng.Rebind(ro) != nil {
+		p.eng = engine.MustCompile(ro, engine.Options{})
+	}
+	return p.eng
+}
+
 // BaseInfer is the unglitched readout path (weight-level view, matching the
-// statistical abstraction the paper's sweeps use).
+// statistical abstraction the paper's sweeps use). The whole pattern batch
+// runs through the plant's batched readout engine — bit-identical to the
+// former per-sample Forward path, without its per-call clone of the readout
+// network.
 func (p *Plant) BaseInfer() monitor.Infer {
 	return func(x *tensor.Tensor) *tensor.Tensor {
-		return nn.Softmax(p.accel.ReadoutNetwork().Forward(x))
+		return p.readoutEngine().Probs(x)
 	}
 }
 
@@ -260,9 +283,11 @@ func (p *Plant) Infer() monitor.Infer {
 }
 
 // Fidelity measures the accelerator's functional agreement with the clean
-// model on the probe set (1.0 = perfect agreement).
+// model on the probe set (1.0 = perfect agreement). The probe sweep runs
+// through the batched readout engine with the same batching and argmax
+// tie-breaking as nn.Network.Accuracy.
 func (p *Plant) Fidelity() float64 {
-	return p.accel.ReadoutNetwork().Accuracy(p.tmpl.probe.X, p.tmpl.probe.Y, 64)
+	return p.readoutEngine().Accuracy(p.tmpl.probe.X, p.tmpl.probe.Y, 64)
 }
 
 // ShadowStatus classifies the accelerator's current raw severity through a

@@ -1,0 +1,315 @@
+// Package engine compiles an nn.Network into a batch-first inference plan:
+// per-layer output workspaces are allocated once, layers execute through
+// their destination-passing BatchInfer kernels, and the whole (N, inDim)
+// pattern batch flows through the stack with zero steady-state allocations.
+//
+// Outputs are bit-identical to the per-sample nn.Network.Forward path: every
+// layer kernel processes batch rows independently with the same inner-loop
+// and summation order as its training-path twin, and parallelism only ever
+// partitions whole samples across pool chunks (never a reduction axis). The
+// golden equivalence tests in this package assert exact float64 equality for
+// every seed model, which is what lets the monitor, detect, campaign and
+// fleet layers route their readouts through an engine without perturbing a
+// single metric, soak gate or journal fingerprint.
+//
+// An Engine is a single-goroutine object, like the layers it wraps; clone
+// the network and compile per goroutine for concurrent inference (the fleet
+// does exactly that, one plant engine per device).
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"reramtest/internal/nn"
+	"reramtest/internal/tensor"
+)
+
+// Options tunes a compilation.
+type Options struct {
+	// MaxBatch pre-sizes the workspaces in samples. 0 defers allocation to
+	// the first ForwardBatch; workspaces grow on demand either way.
+	MaxBatch int
+	// Workers caps the per-layer chunk parallelism. 0 uses the pool's worker
+	// count; 1 forces serial execution.
+	Workers int
+	// Pool supplies the worker pool. nil selects tensor.SharedPool(), which
+	// degrades to inline execution on a single-core host.
+	Pool *tensor.Pool
+}
+
+// step is one compiled compute layer: its kernel, its workspace, and the
+// parallel body that runs a chunk of the batch through it.
+type step struct {
+	layer      nn.Layer
+	bl         nn.BatchInfer
+	inVol      int
+	outVol     int
+	scratchLen int
+	buf        []float64      // output workspace, cap >= capN*outVol
+	out        *tensor.Tensor // (curN, outVol) view of buf
+	in         *tensor.Tensor // input view, set each ForwardBatch
+	scratch    [][]float64    // per-chunk kernel scratch
+	body       func(chunk, lo, hi int)
+}
+
+// Engine is a compiled batch-first forward plan over an nn.Network.
+type Engine struct {
+	net    *nn.Network
+	steps  []*step
+	inDim  int
+	outVol int
+	chunks int
+	pool   *tensor.Pool
+	wg     sync.WaitGroup
+
+	capN, curN int
+
+	probsBuf []float64
+	probs    *tensor.Tensor
+	probsN   int
+}
+
+// Compile builds an execution plan for net. It fails if a layer neither
+// implements nn.BatchInfer nor marks itself as an inference passthrough —
+// such a network has no batched inference semantics.
+func Compile(net *nn.Network, opts Options) (*Engine, error) {
+	e := &Engine{net: net, inDim: net.InDim(), pool: opts.Pool}
+	if e.pool == nil {
+		e.pool = tensor.SharedPool()
+	}
+	e.chunks = opts.Workers
+	if e.chunks <= 0 {
+		e.chunks = e.pool.Workers()
+	}
+	shape := []int{net.InDim()}
+	vol := net.InDim()
+	for _, l := range net.Layers() {
+		outShape := l.OutputShape(shape)
+		outVol := volume(outShape)
+		if isPassthrough(l) {
+			shape, vol = outShape, outVol
+			continue
+		}
+		bl, ok := l.(nn.BatchInfer)
+		if !ok {
+			return nil, fmt.Errorf("engine: layer %q (%T) has no batched inference path", l.Name(), l)
+		}
+		s := &step{layer: l, bl: bl, inVol: vol, outVol: outVol, scratchLen: bl.InferScratch()}
+		s.scratch = make([][]float64, e.chunks)
+		for c := range s.scratch {
+			s.scratch[c] = make([]float64, s.scratchLen)
+		}
+		s.body = func(chunk, lo, hi int) {
+			s.bl.ForwardBatchRange(s.out, s.in, lo, hi, s.scratch[chunk])
+		}
+		e.steps = append(e.steps, s)
+		shape, vol = outShape, outVol
+	}
+	e.outVol = vol
+	if opts.MaxBatch > 0 {
+		e.setBatch(opts.MaxBatch)
+	}
+	return e, nil
+}
+
+// MustCompile is Compile for statically known-good networks; it panics on
+// error.
+func MustCompile(net *nn.Network, opts Options) *Engine {
+	e, err := Compile(net, opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Network returns the network the engine is currently bound to.
+func (e *Engine) Network() *nn.Network { return e.net }
+
+// InDim returns the flattened per-sample input size.
+func (e *Engine) InDim() int { return e.inDim }
+
+// OutDim returns the flattened per-sample output size.
+func (e *Engine) OutDim() int { return e.outVol }
+
+// Rebind points the compiled plan at another network with the same
+// architecture (typically a clone of the original with different weights:
+// a fault model, a refreshed crossbar readout). Workspaces, views and
+// precompiled bodies are all reused — only the layer bindings swap. It
+// returns an error, leaving the engine untouched, if net's layer stack does
+// not match the plan; callers then fall back to a fresh Compile.
+func (e *Engine) Rebind(net *nn.Network) error {
+	if net == e.net {
+		return nil
+	}
+	if net.InDim() != e.inDim {
+		return fmt.Errorf("engine: rebind input dim %d != %d", net.InDim(), e.inDim)
+	}
+	pending := make([]nn.BatchInfer, 0, len(e.steps))
+	shape := []int{net.InDim()}
+	vol := net.InDim()
+	si := 0
+	for _, l := range net.Layers() {
+		outShape := l.OutputShape(shape)
+		outVol := volume(outShape)
+		if isPassthrough(l) {
+			shape, vol = outShape, outVol
+			continue
+		}
+		bl, ok := l.(nn.BatchInfer)
+		if !ok {
+			return fmt.Errorf("engine: rebind layer %q (%T) has no batched inference path", l.Name(), l)
+		}
+		if si >= len(e.steps) {
+			return fmt.Errorf("engine: rebind network has more compute layers than the plan (%d)", len(e.steps))
+		}
+		s := e.steps[si]
+		if fmt.Sprintf("%T", l) != fmt.Sprintf("%T", s.layer) ||
+			s.inVol != vol || s.outVol != outVol || s.scratchLen != bl.InferScratch() {
+			return fmt.Errorf("engine: rebind layer %q does not match compiled step %q", l.Name(), s.layer.Name())
+		}
+		pending = append(pending, bl)
+		shape, vol = outShape, outVol
+		si++
+	}
+	if si != len(e.steps) {
+		return fmt.Errorf("engine: rebind network has %d compute layers, plan has %d", si, len(e.steps))
+	}
+	for i, s := range e.steps {
+		s.bl = pending[i]
+		s.layer = s.bl.(nn.Layer)
+	}
+	e.net = net
+	return nil
+}
+
+// setBatch sizes workspaces and rebuilds the (n, vol) views. Buffers grow
+// when n exceeds the current capacity; view headers are rebuilt only when n
+// changes, so a steady stream of same-size batches allocates nothing.
+func (e *Engine) setBatch(n int) {
+	if n > e.capN {
+		for _, s := range e.steps {
+			s.buf = make([]float64, n*s.outVol)
+		}
+		e.capN = n
+		e.curN = 0
+	}
+	if n == e.curN {
+		return
+	}
+	for _, s := range e.steps {
+		s.out = tensor.FromSlice(s.buf[:n*s.outVol], n, s.outVol)
+	}
+	e.curN = n
+}
+
+// ForwardBatch runs the (N, inDim) batch x through the plan and returns the
+// (N, outDim) logits. When dst is non-nil the logits are copied into it and
+// dst is returned; when dst is nil the engine's internal output view is
+// returned, valid until the next call. Either way the computation happens in
+// the preallocated workspaces: the steady state (same batch size, dst nil)
+// performs no allocations.
+func (e *Engine) ForwardBatch(dst, x *tensor.Tensor) *tensor.Tensor {
+	tensor.AssertDims("engine.ForwardBatch x", x, tensor.Wildcard, e.inDim)
+	n := x.Dim(0)
+	e.setBatch(n)
+	cur := x
+	for _, s := range e.steps {
+		s.in = cur
+		if e.chunks <= 1 || n == 1 {
+			s.body(0, 0, n)
+		} else {
+			e.pool.RunWith(&e.wg, n, e.chunks, s.body)
+		}
+		cur = s.out
+	}
+	if dst == nil {
+		return cur
+	}
+	tensor.AssertDims("engine.ForwardBatch dst", dst, n, e.outVol)
+	copy(dst.Data(), cur.Data())
+	return dst
+}
+
+// Probs runs ForwardBatch and applies the row-wise softmax, returning the
+// (N, outDim) confidence batch in a reused internal buffer (valid until the
+// next call). Its method value satisfies the monitor's Infer signature, which
+// is how a monitor Check feeds all M patterns through the accelerator model
+// in one allocation-free call.
+func (e *Engine) Probs(x *tensor.Tensor) *tensor.Tensor {
+	logits := e.ForwardBatch(nil, x)
+	n := logits.Dim(0)
+	if need := n * e.outVol; need > cap(e.probsBuf) {
+		e.probsBuf = make([]float64, need)
+		e.probsN = 0
+	}
+	if n != e.probsN {
+		e.probs = tensor.FromSlice(e.probsBuf[:n*e.outVol], n, e.outVol)
+		e.probsN = n
+	}
+	copy(e.probs.Data(), logits.Data())
+	nn.SoftmaxInPlace(e.probs)
+	return e.probs
+}
+
+// Predict returns the argmax class per sample, matching nn.Network.Predict.
+func (e *Engine) Predict(x *tensor.Tensor) []int {
+	logits := e.ForwardBatch(nil, x)
+	n := logits.Dim(0)
+	k := e.outVol
+	ld := logits.Data()
+	out := make([]int, n)
+	for s := 0; s < n; s++ {
+		row := ld[s*k : (s+1)*k]
+		best, bi := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[s] = bi
+	}
+	return out
+}
+
+// Accuracy evaluates top-1 accuracy on inputs x with labels y in batches of
+// batchSize, mirroring nn.Network.Accuracy (same batching, same argmax
+// tie-breaking) so engine-backed fidelity probes report identical numbers.
+func (e *Engine) Accuracy(x *tensor.Tensor, y []int, batchSize int) float64 {
+	nb := x.Dim(0)
+	if nb == 0 {
+		return 0
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	correct := 0
+	for s := 0; s < nb; s += batchSize {
+		end := s + batchSize
+		if end > nb {
+			end = nb
+		}
+		batch := tensor.FromSlice(x.Data()[s*e.inDim:end*e.inDim], end-s, e.inDim)
+		for i, p := range e.Predict(batch) {
+			if p == y[s+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(nb)
+}
+
+// isPassthrough reports whether the layer is elided from inference plans.
+func isPassthrough(l nn.Layer) bool {
+	p, ok := l.(nn.InferencePassthrough)
+	return ok && p.InferencePassthrough()
+}
+
+func volume(shape []int) int {
+	v := 1
+	for _, d := range shape {
+		v *= d
+	}
+	return v
+}

@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"reramtest/internal/models"
+	"reramtest/internal/nn"
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+// seedModels enumerates every architecture the repo ships. The golden
+// equivalence gate below runs each one through the engine and demands exact
+// float64 equality against the per-sample training-path forward — this is the
+// contract that lets the monitor, detect and fleet layers adopt the batched
+// readout without moving a single distance metric or journal fingerprint.
+func seedModels() []struct {
+	name  string
+	build func(r *rng.RNG) *nn.Network
+} {
+	return []struct {
+		name  string
+		build func(r *rng.RNG) *nn.Network
+	}{
+		{"lenet5", models.LeNet5},
+		{"convnet7", models.ConvNet7},
+		{"mlp", func(r *rng.RNG) *nn.Network {
+			return models.MLP(r, 16, []int{24, 16}, 6)
+		}},
+		{"mlp-deep", func(r *rng.RNG) *nn.Network {
+			return models.MLP(r, 32, []int{40, 32, 20}, 8)
+		}},
+		{"dropout-flatten", func(r *rng.RNG) *nn.Network {
+			// exercises both passthrough elisions plus tanh/sigmoid kernels
+			return nn.NewNetwork("dp", 12,
+				nn.NewDense("fc1", r, 12, 20),
+				nn.NewTanh("t1"),
+				nn.NewDropout("drop", r, 0.5),
+				nn.NewFlatten("flat"),
+				nn.NewDense("fc2", r, 20, 10),
+				nn.NewSigmoid("s1"),
+				nn.NewDense("fc3", r, 10, 4),
+			)
+		}},
+	}
+}
+
+// serialForward is the reference path: one sample at a time through the
+// training-path Network.Forward, reassembled into a batch.
+func serialForward(net *nn.Network, x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	in := x.Len() / n
+	var out *tensor.Tensor
+	for s := 0; s < n; s++ {
+		row := tensor.FromSlice(x.Data()[s*in:(s+1)*in], 1, in)
+		y := net.Forward(row)
+		if out == nil {
+			out = tensor.New(n, y.Len())
+		}
+		copy(out.Data()[s*y.Len():], y.Data())
+	}
+	return out
+}
+
+// TestEngineGoldenEquivalence is the table-driven bit-identity gate over all
+// seed models, for serial and pooled engines and several batch sizes
+// (including re-running the same engine at a different size, which exercises
+// the workspace-view rebuild).
+func TestEngineGoldenEquivalence(t *testing.T) {
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	for _, m := range seedModels() {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			net := m.build(rng.New(11))
+			batches := []int{1, 3, 7}
+			if strings.HasPrefix(m.name, "mlp") || m.name == "dropout-flatten" {
+				batches = []int{1, 3, 7, 64}
+			}
+			configs := []struct {
+				label string
+				opts  Options
+			}{
+				{"serial", Options{Workers: 1}},
+				{"pool4", Options{Pool: pool}},
+			}
+			for _, cfg := range configs {
+				eng, err := Compile(net, cfg.opts)
+				if err != nil {
+					t.Fatalf("%s: compile: %v", cfg.label, err)
+				}
+				for _, n := range batches {
+					x := tensor.RandUniform(rng.New(int64(100+n)), 0, 1, n, net.InDim())
+					want := serialForward(net, x)
+					got := eng.ForwardBatch(nil, x)
+					if !got.Equal(want) {
+						t.Fatalf("%s n=%d: batched forward is not bit-identical to serial", cfg.label, n)
+					}
+					// dst-passing variant must produce the same bits too
+					dst := tensor.New(n, eng.OutDim())
+					eng.ForwardBatch(dst, x)
+					if !dst.Equal(want) {
+						t.Fatalf("%s n=%d: dst-passing forward differs", cfg.label, n)
+					}
+					// Probs must match the training-path softmax exactly
+					wantP := nn.Softmax(want)
+					if !eng.Probs(x).Equal(wantP) {
+						t.Fatalf("%s n=%d: Probs differs from nn.Softmax(Forward)", cfg.label, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEnginePredictAccuracyParity: the convenience evaluators must agree with
+// their nn.Network counterparts sample for sample.
+func TestEnginePredictAccuracyParity(t *testing.T) {
+	net := models.MLP(rng.New(21), 16, []int{24, 16}, 6)
+	eng := MustCompile(net, Options{Workers: 1})
+	x := tensor.RandUniform(rng.New(22), 0, 1, 150, 16)
+	wantPred := net.Predict(x)
+	gotPred := eng.Predict(x)
+	for i := range wantPred {
+		if gotPred[i] != wantPred[i] {
+			t.Fatalf("sample %d: engine predicted %d, network %d", i, gotPred[i], wantPred[i])
+		}
+	}
+	y := make([]int, 150)
+	for i := range y {
+		y[i] = i % 6
+	}
+	if got, want := eng.Accuracy(x, y, 64), net.Accuracy(x, y, 64); got != want {
+		t.Fatalf("accuracy: engine %v, network %v", got, want)
+	}
+	if got, want := eng.Accuracy(x, y, 0), net.Accuracy(x, y, 64); got != want {
+		t.Fatalf("accuracy default batch: engine %v, network %v", got, want)
+	}
+}
+
+// TestEngineRebind: swapping an architecturally identical clone in must reuse
+// the plan and track the clone's weights; mismatched networks must be
+// rejected with the engine left intact.
+func TestEngineRebind(t *testing.T) {
+	net := models.MLP(rng.New(31), 16, []int{24, 16}, 6)
+	eng := MustCompile(net, Options{Workers: 1})
+	x := tensor.RandUniform(rng.New(32), 0, 1, 9, 16)
+	base := eng.ForwardBatch(nil, x).Clone()
+
+	clone := net.Clone()
+	for _, p := range clone.Params() {
+		p.Value.ScaleInPlace(1.5)
+	}
+	if err := eng.Rebind(clone); err != nil {
+		t.Fatalf("rebind clone: %v", err)
+	}
+	if eng.Network() != clone {
+		t.Fatal("Network() does not report the rebound net")
+	}
+	got := eng.ForwardBatch(nil, x)
+	if !got.Equal(serialForward(clone, x)) {
+		t.Fatal("rebound engine is not bit-identical to the clone's forward")
+	}
+	if got.Equal(base) {
+		t.Fatal("rebound engine still produces the original network's output")
+	}
+
+	// restore, then verify rejection paths leave the binding untouched
+	if err := eng.Rebind(net); err != nil {
+		t.Fatalf("rebind original: %v", err)
+	}
+	other := models.MLP(rng.New(33), 16, []int{25, 16}, 6)
+	if err := eng.Rebind(other); err == nil {
+		t.Fatal("rebind accepted a mismatched architecture")
+	}
+	wider := models.MLP(rng.New(34), 17, []int{24, 16}, 6)
+	if err := eng.Rebind(wider); err == nil {
+		t.Fatal("rebind accepted a mismatched input dim")
+	}
+	deeper := models.MLP(rng.New(35), 16, []int{24, 16, 8}, 6)
+	if err := eng.Rebind(deeper); err == nil {
+		t.Fatal("rebind accepted a deeper network")
+	}
+	if !eng.ForwardBatch(nil, x).Equal(base) {
+		t.Fatal("failed rebinds perturbed the engine")
+	}
+}
+
+// TestEngineCompileRejectsUnbatchable: a layer without a batched kernel must
+// fail compilation with a useful error, not silently fall back.
+func TestEngineCompileRejectsUnbatchable(t *testing.T) {
+	net := nn.NewNetwork("odd", 4, &unbatchable{})
+	if _, err := Compile(net, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "no batched inference path") {
+		t.Fatalf("compile error = %v, want unbatchable-layer error", err)
+	}
+}
+
+// unbatchable is a Layer with neither a BatchInfer kernel nor a passthrough
+// marker.
+type unbatchable struct{}
+
+func (u *unbatchable) Name() string                             { return "unbatchable" }
+func (u *unbatchable) Forward(x *tensor.Tensor) *tensor.Tensor  { return x }
+func (u *unbatchable) Backward(g *tensor.Tensor) *tensor.Tensor { return g }
+func (u *unbatchable) Params() []*nn.Param                      { return nil }
+func (u *unbatchable) Clone() nn.Layer                          { return &unbatchable{} }
+func (u *unbatchable) OutputShape(in []int) []int               { return in }
+
+// TestEngineSteadyStateAllocFree: after warmup, same-size batches must not
+// allocate — serial and pooled — which is the property the bench-smoke gate
+// enforces on the default monitor model.
+func TestEngineSteadyStateAllocFree(t *testing.T) {
+	net := models.MLP(rng.New(41), 16, []int{24, 16}, 6)
+	x := tensor.RandUniform(rng.New(42), 0, 1, 16, 16)
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	for _, cfg := range []struct {
+		label string
+		opts  Options
+	}{
+		{"serial", Options{Workers: 1, MaxBatch: 16}},
+		{"pool4", Options{Pool: pool, MaxBatch: 16}},
+	} {
+		eng := MustCompile(net, cfg.opts)
+		eng.Probs(x) // warmup: builds views and probs buffer
+		if allocs := testing.AllocsPerRun(50, func() { eng.Probs(x) }); allocs != 0 {
+			t.Errorf("%s: %v allocs/op in steady state, want 0", cfg.label, allocs)
+		}
+	}
+}
+
+// TestEnginesShareOnePool drives several engines over one pool concurrently
+// (the fleet topology); run under -race via the Makefile race target.
+func TestEnginesShareOnePool(t *testing.T) {
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	net := models.MLP(rng.New(51), 16, []int{24, 16}, 6)
+	x := tensor.RandUniform(rng.New(52), 0, 1, 12, 16)
+	want := serialForward(net, x)
+	done := make(chan error, 6)
+	for g := 0; g < 6; g++ {
+		go func() {
+			eng := MustCompile(net.Clone(), Options{Pool: pool})
+			for iter := 0; iter < 40; iter++ {
+				if !eng.ForwardBatch(nil, x).Equal(want) {
+					done <- errDiverged
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 6; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errDiverged = errorString("concurrent engine diverged from serial forward")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

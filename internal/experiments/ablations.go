@@ -169,11 +169,26 @@ func (e *Env) AblationADCBits() *ADCAblationResult {
 		cfg.Device.DriftJitter = 0
 		cfg.DACBits, cfg.ADCBits = bits, bits
 		accel := reram.NewAccelerator(net, cfg, 77)
+		// batched analog readout: the accelerator runs each sample through
+		// the same crossbar MatVec sequence as a per-sample loop would, but
+		// its inference workspaces are reused across the whole sweep
 		correct := 0
-		for i := 0; i < eval.N(); i++ {
-			logits := accel.Infer(eval.Input(i))
-			if logits.ArgMax() == eval.Y[i] {
-				correct++
+		const chunk = 8
+		dim := eval.SampleDim()
+		xd := eval.X.Data()
+		for s := 0; s < eval.N(); s += chunk {
+			end := s + chunk
+			if end > eval.N() {
+				end = eval.N()
+			}
+			batch := tensor.FromSlice(xd[s*dim:end*dim], end-s, dim)
+			logits := accel.Infer(batch)
+			k := logits.Dim(1)
+			ld := logits.Data()
+			for j := 0; j < end-s; j++ {
+				if tensor.FromSlice(ld[j*k:(j+1)*k], k).ArgMax() == eval.Y[s+j] {
+					correct++
+				}
 			}
 		}
 		res.Accuracy = append(res.Accuracy, float64(correct)/float64(eval.N()))

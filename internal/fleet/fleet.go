@@ -30,7 +30,13 @@ import (
 type Device interface {
 	// ID names the device uniquely within the fleet.
 	ID() string
-	// Infer is the monitored readout path.
+	// Infer is the monitored readout path. Campaign-backed devices route it
+	// through a per-plant batch inference engine (internal/engine): the whole
+	// pattern set flows through preallocated per-layer workspaces in one
+	// call, bit-identical to a per-sample forward, so every journaled
+	// distance and fingerprint is unchanged while the per-tick readout cost
+	// drops. Engines are single-goroutine objects, which is exactly the
+	// one-worker-per-device contract above.
 	Infer() monitor.Infer
 	// Repairer executes repair actions against this device (nil disables
 	// repair).

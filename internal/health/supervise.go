@@ -100,6 +100,12 @@ func (e Episode) String() string {
 // status confirms damage (≥ Degraded), drives the detect→repair→verify loop
 // until the accelerator verifies clean, the escalation ladder tops out, or
 // the attempt budget runs dry. It never panics.
+//
+// accel is typically batch-first: monitor.NetworkInfer and the campaign
+// plants hand back engine-backed Infers (internal/engine) whose one call per
+// round runs the whole pattern set through preallocated workspaces,
+// bit-identical to a per-sample forward — so the debounce thresholds and
+// verification distances behave exactly as they would on the serial path.
 func (rt *Runtime) Supervise(accel monitor.Infer, rep Repairer) Episode {
 	return rt.SuperviseBudget(accel, rep, rt.cfg.MaxRepairAttempts)
 }

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"reramtest/internal/detect"
+	"reramtest/internal/engine"
 	"reramtest/internal/nn"
 	"reramtest/internal/stats"
 	"reramtest/internal/tensor"
@@ -239,12 +240,26 @@ func (r Report) String() string {
 // weight-level fault models and the device-level crossbar simulator.
 type Infer func(x *tensor.Tensor) *tensor.Tensor
 
-// NetworkInfer adapts an nn.Network into an Infer.
+// NetworkInfer adapts an nn.Network into an Infer. The returned Infer runs
+// the whole pattern batch through a compiled engine (bit-identical to the
+// per-sample Forward path, allocation-free in steady state); weight changes
+// made through the network's Params remain visible because the kernels read
+// the parameter tensors at call time. Networks with no batched inference
+// semantics fall back to the training-path forward.
 func NetworkInfer(net *nn.Network) Infer {
-	return func(x *tensor.Tensor) *tensor.Tensor {
-		return nn.Softmax(net.Forward(x))
+	eng, err := engine.Compile(net, engine.Options{})
+	if err != nil {
+		return func(x *tensor.Tensor) *tensor.Tensor {
+			return nn.Softmax(net.Forward(x))
+		}
 	}
+	return eng.Probs
 }
+
+// EngineInfer adapts an already compiled engine into an Infer — for callers
+// that manage their own plans (the fleet compiles one engine per device and
+// routes both monitoring and fidelity probes through it).
+func EngineInfer(e *engine.Engine) Infer { return e.Probs }
 
 // Check runs one concurrent-test round against the accelerator.
 func (m *Monitor) Check(accel Infer) Report {

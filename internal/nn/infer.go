@@ -1,0 +1,229 @@
+package nn
+
+import (
+	"math"
+
+	"reramtest/internal/tensor"
+)
+
+// BatchInfer is the inference-only fast path a layer exposes to the batch
+// execution engine. ForwardBatchRange writes output rows [lo, hi) of the
+// layer's forward pass into dst (N, outVol), reading rows [lo, hi) of
+// x (N, inVol). scratch must hold InferScratch() float64s and is private to
+// the call, so disjoint ranges with separate scratch may run concurrently.
+//
+// Contract: ForwardBatchRange must be bit-identical to Forward on the same
+// rows — same kernels, same per-sample loop and summation order — and must
+// not touch the training caches (no argmax, no masks, no lastIn), so it never
+// pairs with Backward. Layers whose inference pass is the identity implement
+// InferencePassthrough instead.
+type BatchInfer interface {
+	ForwardBatchRange(dst, x *tensor.Tensor, lo, hi int, scratch []float64)
+	// InferScratch returns the per-call scratch requirement in float64s.
+	InferScratch() int
+}
+
+// InferencePassthrough marks layers that are the identity at inference time
+// (Flatten always, Dropout outside training). The engine elides them from
+// the compiled plan entirely.
+type InferencePassthrough interface {
+	InferencePassthrough() bool
+}
+
+// InferencePassthrough implements the marker: flatten never moves data.
+func (l *Flatten) InferencePassthrough() bool { return true }
+
+// InferencePassthrough implements the marker: the engine is inference-only,
+// where dropout is the identity regardless of the training flag.
+func (l *Dropout) InferencePassthrough() bool { return true }
+
+// ForwardBatchRange implements BatchInfer: y = x·W + b for rows [lo, hi),
+// via the same MatMulSlices kernel and per-row bias loop as Forward.
+func (d *Dense) ForwardBatchRange(dst, x *tensor.Tensor, lo, hi int, _ []float64) {
+	tensor.AssertDims("Dense.ForwardBatchRange x", x, tensor.Wildcard, d.in)
+	tensor.AssertDims("Dense.ForwardBatchRange dst", dst, x.Dim(0), d.out)
+	tensor.MatMulRowsInto(dst, x, d.weight.Value, lo, hi)
+	od, bd := dst.Data(), d.bias.Value.Data()
+	for s := lo; s < hi; s++ {
+		row := od[s*d.out : (s+1)*d.out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+}
+
+// InferScratch implements BatchInfer: dense layers need no scratch.
+func (d *Dense) InferScratch() int { return 0 }
+
+// ForwardBatchRange implements BatchInfer: im2col + matmul per sample for
+// rows [lo, hi). scratch holds one (InC*KH*KW, OutH*OutW) column matrix; the
+// expansion and multiply run through the same Im2ColInto/MatMulSlices kernels
+// as Forward, so outputs are bit-identical.
+func (c *Conv2D) ForwardBatchRange(dst, x *tensor.Tensor, lo, hi int, scratch []float64) {
+	inVol := c.sampleVolume()
+	spatial := c.geom.OutH() * c.geom.OutW()
+	ckk := c.geom.InC * c.geom.KH * c.geom.KW
+	outVol := c.outC * spatial
+	tensor.AssertDims("Conv2D.ForwardBatchRange x", x, tensor.Wildcard, inVol)
+	tensor.AssertDims("Conv2D.ForwardBatchRange dst", dst, x.Dim(0), outVol)
+	if len(scratch) < ckk*spatial {
+		panic("nn: Conv2D.ForwardBatchRange scratch too small")
+	}
+	cols := scratch[:ckk*spatial]
+	xd, od, wd, bd := x.Data(), dst.Data(), c.weight.Value.Data(), c.bias.Value.Data()
+	for s := lo; s < hi; s++ {
+		tensor.Im2ColInto(cols, xd[s*inVol:(s+1)*inVol], c.geom)
+		out := od[s*outVol : (s+1)*outVol]
+		tensor.MatMulSlices(out, wd, cols, c.outC, ckk, spatial)
+		for oc := 0; oc < c.outC; oc++ {
+			b := bd[oc]
+			row := out[oc*spatial : (oc+1)*spatial]
+			for i := range row {
+				row[i] += b
+			}
+		}
+	}
+}
+
+// InferScratch implements BatchInfer: one im2col column matrix.
+func (c *Conv2D) InferScratch() int {
+	return c.geom.InC * c.geom.KH * c.geom.KW * c.geom.OutH() * c.geom.OutW()
+}
+
+// ForwardBatchRange implements BatchInfer: the Forward window sweep without
+// the argmax cache.
+func (p *MaxPool2D) ForwardBatchRange(dst, x *tensor.Tensor, lo, hi int, _ []float64) {
+	g := p.geom
+	inVol := g.InC * g.InH * g.InW
+	outH, outW := g.OutH(), g.OutW()
+	outVol := g.InC * outH * outW
+	tensor.AssertDims("MaxPool2D.ForwardBatchRange x", x, tensor.Wildcard, inVol)
+	tensor.AssertDims("MaxPool2D.ForwardBatchRange dst", dst, x.Dim(0), outVol)
+	xd, od := x.Data(), dst.Data()
+	for s := lo; s < hi; s++ {
+		sBase := s * inVol
+		oBase := s * outVol
+		oi := 0
+		for c := 0; c < g.InC; c++ {
+			chanBase := sBase + c*g.InH*g.InW
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					best := -1
+					bestV := 0.0
+					for kh := 0; kh < g.KH; kh++ {
+						ih := oh*g.StrideH + kh - g.PadH
+						if ih < 0 || ih >= g.InH {
+							continue
+						}
+						for kw := 0; kw < g.KW; kw++ {
+							iw := ow*g.StrideW + kw - g.PadW
+							if iw < 0 || iw >= g.InW {
+								continue
+							}
+							idx := chanBase + ih*g.InW + iw
+							if best == -1 || xd[idx] > bestV {
+								best, bestV = idx, xd[idx]
+							}
+						}
+					}
+					od[oBase+oi] = bestV
+					oi++
+				}
+			}
+		}
+	}
+}
+
+// InferScratch implements BatchInfer.
+func (p *MaxPool2D) InferScratch() int { return 0 }
+
+// ForwardBatchRange implements BatchInfer: the Forward window-mean sweep.
+func (p *AvgPool2D) ForwardBatchRange(dst, x *tensor.Tensor, lo, hi int, _ []float64) {
+	g := p.geom
+	inVol := g.InC * g.InH * g.InW
+	outH, outW := g.OutH(), g.OutW()
+	outVol := g.InC * outH * outW
+	tensor.AssertDims("AvgPool2D.ForwardBatchRange x", x, tensor.Wildcard, inVol)
+	tensor.AssertDims("AvgPool2D.ForwardBatchRange dst", dst, x.Dim(0), outVol)
+	xd, od := x.Data(), dst.Data()
+	winSize := float64(g.KH * g.KW)
+	for s := lo; s < hi; s++ {
+		sBase := s * inVol
+		oBase := s * outVol
+		oi := 0
+		for c := 0; c < g.InC; c++ {
+			chanBase := sBase + c*g.InH*g.InW
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					sum := 0.0
+					for kh := 0; kh < g.KH; kh++ {
+						ih := oh*g.StrideH + kh - g.PadH
+						if ih < 0 || ih >= g.InH {
+							continue
+						}
+						for kw := 0; kw < g.KW; kw++ {
+							iw := ow*g.StrideW + kw - g.PadW
+							if iw < 0 || iw >= g.InW {
+								continue
+							}
+							sum += xd[chanBase+ih*g.InW+iw]
+						}
+					}
+					od[oBase+oi] = sum / winSize
+					oi++
+				}
+			}
+		}
+	}
+}
+
+// InferScratch implements BatchInfer.
+func (p *AvgPool2D) InferScratch() int { return 0 }
+
+// elementwiseVol returns the flattened per-sample volume shared by dst and x
+// for shape-preserving element-wise layers, panicking on mismatch.
+func elementwiseVol(op string, dst, x *tensor.Tensor) int {
+	vol := x.Dim(1)
+	tensor.AssertDims(op, dst, x.Dim(0), vol)
+	return vol
+}
+
+// ForwardBatchRange implements BatchInfer: max(0, x) without the mask cache.
+func (l *ReLU) ForwardBatchRange(dst, x *tensor.Tensor, lo, hi int, _ []float64) {
+	vol := elementwiseVol("ReLU.ForwardBatchRange dst", dst, x)
+	xd, od := x.Data(), dst.Data()
+	for i := lo * vol; i < hi*vol; i++ {
+		if v := xd[i]; v > 0 {
+			od[i] = v
+		} else {
+			od[i] = 0
+		}
+	}
+}
+
+// InferScratch implements BatchInfer.
+func (l *ReLU) InferScratch() int { return 0 }
+
+// ForwardBatchRange implements BatchInfer: tanh without the output cache.
+func (l *Tanh) ForwardBatchRange(dst, x *tensor.Tensor, lo, hi int, _ []float64) {
+	vol := elementwiseVol("Tanh.ForwardBatchRange dst", dst, x)
+	xd, od := x.Data(), dst.Data()
+	for i := lo * vol; i < hi*vol; i++ {
+		od[i] = math.Tanh(xd[i])
+	}
+}
+
+// InferScratch implements BatchInfer.
+func (l *Tanh) InferScratch() int { return 0 }
+
+// ForwardBatchRange implements BatchInfer: logistic without the output cache.
+func (l *Sigmoid) ForwardBatchRange(dst, x *tensor.Tensor, lo, hi int, _ []float64) {
+	vol := elementwiseVol("Sigmoid.ForwardBatchRange dst", dst, x)
+	xd, od := x.Data(), dst.Data()
+	for i := lo * vol; i < hi*vol; i++ {
+		od[i] = 1 / (1 + math.Exp(-xd[i]))
+	}
+}
+
+// InferScratch implements BatchInfer.
+func (l *Sigmoid) InferScratch() int { return 0 }

@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"testing"
+
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+// TestFlattenForwardIsView: the reshape-only layer must not copy — its output
+// shares the input's storage.
+func TestFlattenForwardIsView(t *testing.T) {
+	f := NewFlatten("f")
+	x := tensor.RandUniform(rng.New(1), 0, 1, 3, 8)
+	y := f.Forward(x)
+	if y.Dim(0) != 3 || y.Dim(1) != 8 {
+		t.Fatalf("Forward shape %v", y.Shape())
+	}
+	x.Data()[0] = 42
+	if y.Data()[0] != 42 {
+		t.Fatal("Flatten.Forward copied instead of returning a view")
+	}
+	g := f.Backward(y)
+	y.Data()[1] = 7
+	if g.Data()[1] != 7 {
+		t.Fatal("Flatten.Backward copied instead of returning a view")
+	}
+}
+
+// TestFlattenBackpropStillTrains: regression for the view-returning Flatten —
+// a conv→flatten→dense stack must still train (gradients flow through the
+// aliased tensors and a step reduces the loss).
+func TestFlattenBackpropStillTrains(t *testing.T) {
+	r := rng.New(2)
+	g := tensor.ConvGeom{InC: 1, InH: 6, InW: 6, KH: 3, KW: 3, StrideH: 1, StrideW: 1}
+	net := NewNetwork("flat", 36,
+		NewConv2D("c", r, g, 2),
+		NewReLU("r1"),
+		NewFlatten("f"),
+		NewDense("fc", r, 2*4*4, 3),
+	)
+	x := tensor.RandUniform(r, 0, 1, 8, 36)
+	labels := []int{0, 1, 2, 0, 1, 2, 0, 1}
+
+	step := func() float64 {
+		net.ZeroGrad()
+		logits := net.Forward(x)
+		loss, grad := CrossEntropy(logits, labels)
+		net.Backward(grad)
+		for _, p := range net.Params() {
+			p.Value.AxpyInPlace(-0.1, p.Grad)
+		}
+		return loss
+	}
+	first := step()
+	var last float64
+	for i := 0; i < 20; i++ {
+		last = step()
+	}
+	if !(last < first) {
+		t.Fatalf("loss did not decrease through Flatten: first=%v last=%v", first, last)
+	}
+	// gradient must actually reach the conv layer below the flatten
+	net.ZeroGrad()
+	logits := net.Forward(x)
+	_, grad := CrossEntropy(logits, labels)
+	net.Backward(grad)
+	if net.Layers()[0].Params()[0].Grad.L2Norm() == 0 {
+		t.Fatal("no gradient reached the layer below Flatten")
+	}
+}
+
+// TestSoftmaxInPlaceMatchesSoftmax: same kernel, bit-identical output.
+func TestSoftmaxInPlaceMatchesSoftmax(t *testing.T) {
+	r := rng.New(3)
+	logits := tensor.Randn(r, 0, 3, 5, 7)
+	want := Softmax(logits)
+	got := logits.Clone()
+	SoftmaxInPlace(got)
+	if !got.Equal(want) {
+		t.Fatal("SoftmaxInPlace differs from Softmax")
+	}
+}
+
+// TestForwardBatchRangeMatchesForward: every BatchInfer layer must reproduce
+// its Forward output bit-exactly, both over the full batch and assembled from
+// partial row ranges.
+func TestForwardBatchRangeMatchesForward(t *testing.T) {
+	r := rng.New(4)
+	convGeom := tensor.ConvGeom{InC: 2, InH: 7, InW: 7, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	poolGeom := tensor.ConvGeom{InC: 2, InH: 7, InW: 7, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	cases := []struct {
+		name  string
+		layer Layer
+		inVol int
+	}{
+		{"dense", NewDense("d", r, 13, 9), 13},
+		{"conv", NewConv2D("c", r, convGeom, 4), 2 * 7 * 7},
+		{"maxpool", NewMaxPool2D("mp", poolGeom), 2 * 7 * 7},
+		{"avgpool", NewAvgPool2D("ap", poolGeom), 2 * 7 * 7},
+		{"relu", NewReLU("r"), 11},
+		{"tanh", NewTanh("t"), 11},
+		{"sigmoid", NewSigmoid("s"), 11},
+	}
+	const n = 5
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bl, ok := tc.layer.(BatchInfer)
+			if !ok {
+				t.Fatalf("%T does not implement BatchInfer", tc.layer)
+			}
+			x := tensor.Randn(rng.New(9), 0, 1, n, tc.inVol)
+			want := tc.layer.Forward(x)
+			outVol := want.Len() / n
+			scratch := make([]float64, bl.InferScratch())
+			full := tensor.New(n, outVol)
+			bl.ForwardBatchRange(full, x, 0, n, scratch)
+			if !full.Equal(want.Reshape(n, outVol)) {
+				t.Fatal("full-range ForwardBatchRange differs from Forward")
+			}
+			ranged := tensor.New(n, outVol)
+			bl.ForwardBatchRange(ranged, x, 0, 2, scratch)
+			bl.ForwardBatchRange(ranged, x, 2, n, scratch)
+			if !ranged.Equal(full) {
+				t.Fatal("assembled row ranges differ from full range")
+			}
+		})
+	}
+}
+
+// TestPassthroughMarkers: the layers the engine elides must say so.
+func TestPassthroughMarkers(t *testing.T) {
+	if !NewFlatten("f").InferencePassthrough() {
+		t.Fatal("Flatten must be an inference passthrough")
+	}
+	if !NewDropout("d", rng.New(1), 0.5).InferencePassthrough() {
+		t.Fatal("Dropout must be an inference passthrough")
+	}
+}

@@ -13,12 +13,21 @@ func Softmax(logits *tensor.Tensor) *tensor.Tensor {
 	n := logits.Dim(0)
 	k := logits.Len() / n
 	out := logits.Clone().Reshape(n, k)
-	od := out.Data()
-	for s := 0; s < n; s++ {
-		row := od[s*k : (s+1)*k]
-		softmaxRow(row)
-	}
+	SoftmaxInPlace(out)
 	return out
+}
+
+// SoftmaxInPlace converts a (N, n) batch of logits to row-wise probability
+// distributions in place, through the same max-subtracted row kernel as
+// Softmax (bit-identical results, no allocation). The batch inference engine
+// uses it to turn reused logit workspaces into confidences.
+func SoftmaxInPlace(logits *tensor.Tensor) {
+	n := logits.Dim(0)
+	k := logits.Len() / n
+	od := logits.Data()
+	for s := 0; s < n; s++ {
+		softmaxRow(od[s*k : (s+1)*k])
+	}
 }
 
 func softmaxRow(row []float64) {

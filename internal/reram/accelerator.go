@@ -17,6 +17,43 @@ type Accelerator struct {
 	cfg     Config
 	engines map[int]*TiledLinear // layer index → crossbar group
 	hours   float64
+
+	// readout is the in-place-refreshed weight-level view returned by
+	// RefreshReadout; readoutBufs stages each engine's (Out, In) effective
+	// weights so repeated readouts allocate nothing.
+	readout     *nn.Network
+	readoutBufs map[int]*tensor.Tensor
+
+	// ws holds per-layer inference workspaces, grown on demand by Infer so a
+	// steady stream of same-size batches through the analog path allocates
+	// nothing. Like the layers themselves, this makes an Accelerator a
+	// single-goroutine object.
+	ws map[int]*layerWorkspace
+}
+
+// layerWorkspace is the reusable state one Infer step needs: the output
+// batch, plus the conv column/vector staging or digital-kernel scratch.
+type layerWorkspace struct {
+	buf  []float64      // output storage, cap >= n*outVol
+	out  *tensor.Tensor // (n, outVol) view of buf
+	n    int            // batch size the view was built for
+	cols []float64      // conv: im2col staging (ckk*spatial)
+	vec  []float64      // conv: one column (ckk)
+	y    []float64      // crossbar MatVecInto destination (engine.Out)
+}
+
+// batch returns the (n, vol) output view, growing the backing buffer and
+// rebuilding the tensor header only when the batch size changes.
+func (w *layerWorkspace) batch(n, vol int) *tensor.Tensor {
+	if need := n * vol; need > cap(w.buf) {
+		w.buf = make([]float64, need)
+		w.n = 0
+	}
+	if w.n != n {
+		w.out = tensor.FromSlice(w.buf[:n*vol], n, vol)
+		w.n = n
+	}
+	return w.out
 }
 
 // NewAccelerator programs net's weights into crossbars. net itself is cloned;
@@ -115,73 +152,145 @@ func (a *Accelerator) ProgramNetwork(net *nn.Network) {
 
 // ReadoutNetwork exports the current effective weights into a copy of the
 // model: the weight-level view of the hardware state. DAC/ADC quantization
-// is not represented (use Infer for the full analog path).
+// is not represented (use Infer for the full analog path). The returned
+// network is a fresh clone the caller owns — retraining repairs mutate it
+// freely. Read-only consumers that poll the hardware state repeatedly should
+// prefer RefreshReadout, which reuses one cached clone.
 func (a *Accelerator) ReadoutNetwork() *nn.Network {
 	net := a.model.Clone()
-	for li, layer := range net.Layers() {
+	a.exportReadout(net)
+	return net
+}
+
+// RefreshReadout updates and returns the accelerator's cached readout
+// network. The same *nn.Network is refreshed in place on every call —
+// digital parameters are re-synced from the model and crossbar weights are
+// re-read through per-engine staging buffers, so steady-state refreshes
+// allocate nothing. That pointer stability is what lets an inference engine
+// compiled over the readout stay bound across refreshes: the kernels read
+// the parameter tensors at call time and simply see the new values. Callers
+// must not mutate the returned network; use ReadoutNetwork for an owned copy.
+func (a *Accelerator) RefreshReadout() *nn.Network {
+	if a.readout == nil {
+		a.readout = a.model.Clone()
+	} else {
+		src := a.model.Params()
+		for i, p := range a.readout.Params() {
+			p.Value.CopyFrom(src[i].Value)
+		}
+	}
+	a.exportReadout(a.readout)
+	return a.readout
+}
+
+// exportReadout copies every engine's effective weights into dst's
+// parameters, transposing dense layers back to their (In, Out) storage.
+// dst must share the model's architecture.
+func (a *Accelerator) exportReadout(dst *nn.Network) {
+	if a.readoutBufs == nil {
+		a.readoutBufs = make(map[int]*tensor.Tensor)
+	}
+	for li, layer := range dst.Layers() {
 		e, ok := a.engines[li]
 		if !ok {
 			continue
 		}
-		w := e.EffectiveWeights()
+		buf := a.readoutBufs[li]
+		if buf == nil {
+			buf = tensor.New(e.Out, e.In)
+			a.readoutBufs[li] = buf
+		}
+		e.EffectiveWeightsInto(buf)
 		switch layer.(type) {
 		case *nn.Conv2D:
-			layer.Params()[0].Value.CopyFrom(w)
+			layer.Params()[0].Value.CopyFrom(buf)
 		case *nn.Dense:
-			layer.Params()[0].Value.CopyFrom(tensor.Transpose2D(w))
+			tensor.Transpose2DInto(layer.Params()[0].Value, buf)
 		}
 	}
-	return net
 }
 
 // Infer runs a (N, D) batch through the full analog path: convolutions and
 // dense layers execute as crossbar MatVecs with DAC/ADC quantization;
-// everything else runs on the digital skeleton's layers. Returns logits.
+// everything else runs through the digital skeleton's batched inference
+// kernels. Returns the (N, classes) logits in a per-accelerator workspace
+// that is reused by the next Infer call — callers that need the batch to
+// outlive the next readout must Clone it. Reshape-only layers (Flatten,
+// Dropout at inference) are elided: the batch is already flat.
 func (a *Accelerator) Infer(x *tensor.Tensor) *tensor.Tensor {
+	tensor.AssertDims("reram.Infer x", x, tensor.Wildcard, a.model.InDim())
 	n := x.Dim(0)
-	if x.Dim(1) != a.model.InDim() {
-		panic(fmt.Sprintf("reram: Infer input %v, want (N, %d)", x.Shape(), a.model.InDim()))
+	if a.ws == nil {
+		a.ws = make(map[int]*layerWorkspace)
 	}
 	cur := x
 	for li, layer := range a.model.Layers() {
+		if p, ok := layer.(nn.InferencePassthrough); ok && p.InferencePassthrough() {
+			continue
+		}
+		w := a.ws[li]
+		if w == nil {
+			w = &layerWorkspace{}
+			a.ws[li] = w
+		}
 		engine, mapped := a.engines[li]
 		if !mapped {
-			cur = layer.Forward(cur)
+			bl, ok := layer.(nn.BatchInfer)
+			if !ok {
+				// no batched kernel: fall back to the training-path Forward
+				cur = layer.Forward(cur)
+				continue
+			}
+			outVol := volume(layer.OutputShape([]int{cur.Len() / n}))
+			out := w.batch(n, outVol)
+			if need := bl.InferScratch(); len(w.cols) < need {
+				w.cols = make([]float64, need)
+			}
+			bl.ForwardBatchRange(out, cur, 0, n, w.cols)
+			cur = out
 			continue
 		}
 		switch l := layer.(type) {
 		case *nn.Dense:
-			out := tensor.New(n, l.Out())
+			out := w.batch(n, l.Out())
+			if len(w.y) < l.Out() {
+				w.y = make([]float64, l.Out())
+			}
 			od, bias := out.Data(), l.Params()[1].Value.Data()
 			cd := cur.Data()
 			for s := 0; s < n; s++ {
-				y := engine.MatVec(cd[s*l.In() : (s+1)*l.In()])
+				engine.MatVecInto(w.y, cd[s*l.In():(s+1)*l.In()])
 				row := od[s*l.Out() : (s+1)*l.Out()]
 				for j := range row {
-					row[j] = y[j] + bias[j]
+					row[j] = w.y[j] + bias[j]
 				}
 			}
 			cur = out
 		case *nn.Conv2D:
 			g := l.Geom()
-			outH, outW := g.OutH(), g.OutW()
-			spatial := outH * outW
+			spatial := g.OutH() * g.OutW()
 			ckk := g.InC * g.KH * g.KW
 			inVol := g.InC * g.InH * g.InW
-			cols := tensor.New(ckk, spatial)
-			out := tensor.New(n, l.OutC()*spatial)
+			out := w.batch(n, l.OutC()*spatial)
+			if len(w.cols) < ckk*spatial {
+				w.cols = make([]float64, ckk*spatial)
+			}
+			if len(w.vec) < ckk {
+				w.vec = make([]float64, ckk)
+			}
+			if len(w.y) < l.OutC() {
+				w.y = make([]float64, l.OutC())
+			}
+			cols, vec, y := w.cols[:ckk*spatial], w.vec[:ckk], w.y[:l.OutC()]
 			od, bias := out.Data(), l.Params()[1].Value.Data()
 			cd := cur.Data()
-			vec := make([]float64, ckk)
 			for s := 0; s < n; s++ {
-				sample := tensor.FromSlice(cd[s*inVol:(s+1)*inVol], inVol)
-				tensor.Im2Col(cols, sample, g)
-				colsD := cols.Data()
+				tensor.Im2ColInto(cols, cd[s*inVol:(s+1)*inVol], g)
 				for p := 0; p < spatial; p++ {
 					for r := 0; r < ckk; r++ {
-						vec[r] = colsD[r*spatial+p]
+						vec[r] = cols[r*spatial+p]
 					}
-					y := engine.MatVec(vec)
+					engine.MatVecInto(y, vec)
 					for oc := 0; oc < l.OutC(); oc++ {
 						od[s*l.OutC()*spatial+oc*spatial+p] = y[oc] + bias[oc]
 					}
@@ -191,4 +300,12 @@ func (a *Accelerator) Infer(x *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	return cur
+}
+
+func volume(shape []int) int {
+	v := 1
+	for _, d := range shape {
+		v *= d
+	}
+	return v
 }

@@ -41,6 +41,9 @@ type TiledLinear struct {
 	rowTiles int
 	colTiles int
 	dac      Quantizer
+	// MatVecInto staging, allocated once at map time. These make TiledLinear
+	// a single-goroutine object, like the nn layers it stands in for.
+	vin, ip, in []float64
 }
 
 type tilePair struct {
@@ -63,6 +66,9 @@ func MapLinear(w *tensor.Tensor, cfg Config, r *rng.RNG) *TiledLinear {
 		rowTiles: (in + cfg.TileRows - 1) / cfg.TileRows,
 		colTiles: (out + cfg.TileCols - 1) / cfg.TileCols,
 		dac:      Quantizer{Bits: cfg.DACBits, Lo: 0, Hi: 1},
+		vin:      make([]float64, cfg.TileRows),
+		ip:       make([]float64, cfg.TileCols),
+		in:       make([]float64, cfg.TileCols),
 	}
 	t.tiles = make([][]tilePair, t.rowTiles)
 	for rt := 0; rt < t.rowTiles; rt++ {
@@ -166,8 +172,24 @@ func calibrateADC(x *Crossbar, bits int) Quantizer {
 // are clamped to zero — valid for this repository's ReLU pipelines, where
 // every crossbar-facing activation is non-negative.
 func (t *TiledLinear) MatVec(x []float64) []float64 {
+	out := make([]float64, t.Out)
+	t.MatVecInto(out, x)
+	return out
+}
+
+// MatVecInto is MatVec writing into a caller-owned slice of length Out —
+// the allocation-free path the accelerator's batched inference uses. It
+// reuses the tile staging buffers allocated at map time, so it must not be
+// called from more than one goroutine at a time.
+func (t *TiledLinear) MatVecInto(out, x []float64) {
 	if len(x) != t.In {
 		panic(fmt.Sprintf("reram: MatVec input length %d, want %d", len(x), t.In))
+	}
+	if len(out) != t.Out {
+		panic(fmt.Sprintf("reram: MatVec output length %d, want %d", len(out), t.Out))
+	}
+	for i := range out {
+		out[i] = 0
 	}
 	vmax := 0.0
 	for _, v := range x {
@@ -175,13 +197,10 @@ func (t *TiledLinear) MatVec(x []float64) []float64 {
 			vmax = v
 		}
 	}
-	out := make([]float64, t.Out)
 	if vmax == 0 {
-		return out
+		return
 	}
-	vin := make([]float64, t.cfg.TileRows)
-	ip := make([]float64, t.cfg.TileCols)
-	in := make([]float64, t.cfg.TileCols)
+	vin, ip, in := t.vin, t.ip, t.in
 	for rt := 0; rt < t.rowTiles; rt++ {
 		// load, range-normalise and DAC-quantize this tile row's inputs
 		for i := range vin {
@@ -207,7 +226,6 @@ func (t *TiledLinear) MatVec(x []float64) []float64 {
 			}
 		}
 	}
-	return out
 }
 
 // EffectiveWeights reads the weight matrix back from the arrays, reflecting
@@ -215,6 +233,15 @@ func (t *TiledLinear) MatVec(x []float64) []float64 {
 // weight-level view of the hardware's current state.
 func (t *TiledLinear) EffectiveWeights() *tensor.Tensor {
 	w := tensor.New(t.Out, t.In)
+	t.EffectiveWeightsInto(w)
+	return w
+}
+
+// EffectiveWeightsInto is EffectiveWeights writing into a caller-owned
+// (Out, In) tensor — every element is overwritten, so the buffer can be
+// reused across readouts without clearing.
+func (t *TiledLinear) EffectiveWeightsInto(w *tensor.Tensor) {
+	tensor.AssertDims("reram.EffectiveWeightsInto", w, t.Out, t.In)
 	wd := w.Data()
 	for rt := 0; rt < t.rowTiles; rt++ {
 		for ct := 0; ct < t.colTiles; ct++ {
@@ -235,7 +262,6 @@ func (t *TiledLinear) EffectiveWeights() *tensor.Tensor {
 			}
 		}
 	}
-	return w
 }
 
 // AdvanceTime ages every tile.

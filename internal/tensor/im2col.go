@@ -40,16 +40,26 @@ func (g ConvGeom) Validate() error {
 // convolution becomes a single matmul with the (OutC, C*KH*KW) kernel matrix.
 // dst must have exactly that shape; src must be (C, H, W) flattened.
 func Im2Col(dst, src *Tensor, g ConvGeom) {
+	Im2ColInto(dst.data, src.data, g)
+}
+
+// Im2ColInto is Im2Col over bare row-major slices, for workspace-reusing
+// callers that expand samples out of a larger batch buffer without building
+// tensor headers. dst must have InC*KH*KW*OutH*OutW elements and src
+// InC*InH*InW. It is the single im2col kernel in the package — Im2Col
+// delegates here — so batched and per-sample convolutions expand windows in
+// exactly the same order.
+func Im2ColInto(dst, src []float64, g ConvGeom) {
 	outH, outW := g.OutH(), g.OutW()
 	cols := outH * outW
 	rows := g.InC * g.KH * g.KW
-	if dst.Len() != rows*cols {
-		panic(fmt.Sprintf("tensor: Im2Col dst volume %d != %d", dst.Len(), rows*cols))
+	if len(dst) != rows*cols {
+		panic(fmt.Sprintf("tensor: Im2Col dst volume %d != %d", len(dst), rows*cols))
 	}
-	if src.Len() != g.InC*g.InH*g.InW {
-		panic(fmt.Sprintf("tensor: Im2Col src volume %d != %d", src.Len(), g.InC*g.InH*g.InW))
+	if len(src) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col src volume %d != %d", len(src), g.InC*g.InH*g.InW))
 	}
-	sd, dd := src.data, dst.data
+	sd, dd := src, dst
 	row := 0
 	for c := 0; c < g.InC; c++ {
 		chanBase := c * g.InH * g.InW

@@ -27,18 +27,50 @@ func MatMulInto(dst, a, b *Tensor) {
 	if k != k2 || dm != m || dn != n {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst%v = %v x %v", dst.shape, a.shape, b.shape))
 	}
-	ad, bd, dd := a.data, b.data, dst.data
+	MatMulSlices(dst.data, a.data, b.data, m, k, n)
+}
+
+// MatMulRowsInto computes output rows [lo, hi) of dst = a·b, leaving the
+// other rows of dst untouched. a is m×k, b is k×n, dst is m×n. Disjoint row
+// ranges write disjoint regions of dst, so callers may compute ranges
+// concurrently; each row's summation order is identical to MatMulInto, so the
+// result is bit-identical however the rows are partitioned.
+func MatMulRowsInto(dst, a, b *Tensor, lo, hi int) {
+	m, k := mustMatrix("MatMulRowsInto lhs", a)
+	k2, n := mustMatrix("MatMulRowsInto rhs", b)
+	AssertDims("MatMulRowsInto dst", dst, m, n)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulRowsInto inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	if lo < 0 || hi > m || lo > hi {
+		panic(fmt.Sprintf("tensor: MatMulRowsInto row range [%d, %d) out of [0, %d)", lo, hi, m))
+	}
+	MatMulSlices(dst.data[lo*n:hi*n], a.data[lo*k:hi*k], b.data, hi-lo, k, n)
+}
+
+// MatMulSlices is the raw matmul kernel over bare slices: dst = a·b where a
+// is m×k, b is k×n and dst is m×n, all row-major. It exists so workspace-
+// reusing callers (the batch inference engine, the accelerator's im2col path)
+// can multiply into sub-regions of preallocated buffers without building
+// tensor headers. Every tensor-level matmul in this package delegates here,
+// which is what makes the batched forward path bit-identical to the serial
+// one: there is exactly one summation order.
+func MatMulSlices(dst, a, b []float64, m, k, n int) {
+	if len(a) != m*k || len(b) != k*n || len(dst) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulSlices length mismatch dst=%d a=%d b=%d for (%d×%d)·(%d×%d)",
+			len(dst), len(a), len(b), m, k, k, n))
+	}
 	for i := 0; i < m; i++ {
-		drow := dd[i*n : (i+1)*n]
+		drow := dst[i*n : (i+1)*n]
 		for j := range drow {
 			drow[j] = 0
 		}
-		arow := ad[i*k : (i+1)*k]
+		arow := a[i*k : (i+1)*k]
 		for p, av := range arow {
 			if av == 0 {
 				continue
 			}
-			brow := bd[p*n : (p+1)*n]
+			brow := b[p*n : (p+1)*n]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
@@ -121,12 +153,22 @@ func MatVec(a *Tensor, x []float64) []float64 {
 func Transpose2D(a *Tensor) *Tensor {
 	m, n := mustMatrix("Transpose2D", a)
 	out := New(n, m)
+	Transpose2DInto(out, a)
+	return out
+}
+
+// Transpose2DInto writes aᵀ into dst, reusing dst's storage. a is m×n and dst
+// must be n×m.
+func Transpose2DInto(dst, a *Tensor) {
+	m, n := mustMatrix("Transpose2DInto src", a)
+	AssertDims("Transpose2DInto dst", dst, n, m)
+	ad, dd := a.data, dst.data
 	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[j*m+i] = a.data[i*n+j]
+		row := ad[i*n : (i+1)*n]
+		for j, v := range row {
+			dd[j*m+i] = v
 		}
 	}
-	return out
 }
 
 func mustMatrix(op string, t *Tensor) (rows, cols int) {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"reramtest/internal/dataset"
+	"reramtest/internal/engine"
 	"reramtest/internal/nn"
 	"reramtest/internal/tensor"
 )
@@ -44,13 +45,21 @@ func RankByLogitStd(net *nn.Network, pool *dataset.Dataset) (idx []int, score []
 	scores := make([]float64, n)
 	const batch = 64
 	pd := pool.X.Data()
+	// sweep the pool through a batch-inference plan: same bits as
+	// net.Forward, but the whole scan reuses one set of workspaces
+	eng, engErr := engine.Compile(net, engine.Options{MaxBatch: batch})
 	for s := 0; s < n; s += batch {
 		e := s + batch
 		if e > n {
 			e = n
 		}
 		x := tensor.FromSlice(pd[s*dim:e*dim], e-s, dim)
-		logits := net.Forward(x)
+		var logits *tensor.Tensor
+		if engErr == nil {
+			logits = eng.ForwardBatch(nil, x)
+		} else {
+			logits = net.Forward(x)
+		}
 		k := logits.Dim(1)
 		ld := logits.Data()
 		for j := 0; j < e-s; j++ {
