@@ -1,9 +1,10 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 #
 #   make check   vet + build + full test suite + race detector on the
-#                hardened-runtime packages + short campaign and fleet soak
-#                smokes + a short fuzz pass over the journal decoder + the
-#                batched-inference performance gate (bench-smoke)
+#                hardened-runtime packages + short campaign, fleet and
+#                serving-chaos soak smokes + a short fuzz pass over the
+#                journal decoder + the batched-inference performance gate
+#                (bench-smoke)
 #   make bench-smoke  gate the batched monitor readout against the committed
 #                baseline ratios (min speedup over the serial path, max
 #                allocs/op); fails on regression
@@ -19,12 +20,13 @@ GO ?= go
 RACE_PKGS = ./internal/health/... ./internal/campaign/... ./internal/monitor/... \
             ./internal/detect/... ./internal/stats/... ./internal/repair/... \
             ./internal/fleet/... ./internal/journal/... ./internal/engine/... \
-            ./internal/tensor/...
+            ./internal/tensor/... ./internal/serve/...
 
 .PHONY: check vet build test race-fast race soak-smoke soak \
-        fleet-soak-smoke fleet-soak fuzz-short bench-smoke
+        fleet-soak-smoke fleet-soak serve-soak-smoke serve-soak \
+        fuzz-short bench-smoke
 
-check: vet build test race-fast soak-smoke fleet-soak-smoke fuzz-short bench-smoke
+check: vet build test race-fast soak-smoke fleet-soak-smoke serve-soak-smoke fuzz-short bench-smoke
 	@echo "check: PASS"
 
 vet:
@@ -58,6 +60,16 @@ fleet-soak-smoke:
 
 fleet-soak:
 	$(GO) run ./cmd/monitor -fleet-soak -campaigns 10
+
+# serving-frontend chaos soak: concurrent traffic with injected slow
+# readouts, mid-request crashes and deadline storms; gated on zero hung
+# requests, zero silent drops, bounded p99 vs a no-chaos baseline, and zero
+# leaked goroutines
+serve-soak-smoke:
+	$(GO) run ./cmd/monitor -serve-soak -campaigns 3
+
+serve-soak:
+	$(GO) run ./cmd/monitor -serve-soak -campaigns 10
 
 # short coverage-guided pass over the journal record decoder (the committed
 # corpus under internal/journal/testdata/fuzz seeds it)

@@ -21,6 +21,11 @@
 // campaign drives an N-device fleet with journaled supervisor state, kills
 // and replays the supervisor mid-campaign (corrupting the journal tail),
 // and gates on resume fidelity against an uninterrupted same-seed run.
+//
+// With -serve-soak it runs the serving-frontend chaos soak: concurrent
+// client traffic with injected slow readouts, mid-request device crashes and
+// deadline storms, gated on zero hung requests, zero silent drops, a bounded
+// p99 against a no-chaos baseline, and zero leaked goroutines.
 package main
 
 import (
@@ -43,15 +48,19 @@ func main() {
 	analog := flag.Bool("analog", false, "run checks through the full DAC/ADC analog path (slower)")
 	soak := flag.Bool("soak", false, "run the randomized fault-injection soak campaigns instead of the demo")
 	fleetSoak := flag.Bool("fleet-soak", false, "run the fleet supervisor crash/restart soak instead of the demo")
+	serveSoak := flag.Bool("serve-soak", false, "run the serving-frontend chaos soak instead of the demo")
 	campaigns := flag.Int("campaigns", 20, "soak: number of seeded campaigns")
 	rounds := flag.Int("rounds", 40, "soak: monitoring rounds per campaign")
 	seed := flag.Int64("seed", 1000, "soak: base seed (campaign i uses seed+i)")
 	minRecovery := flag.Float64("min-recovery", 0.8, "soak: gate threshold on repair-recovery rate")
-	devices := flag.Int("devices", 4, "fleet-soak: accelerators per fleet")
+	devices := flag.Int("devices", 4, "fleet-soak/serve-soak: accelerators per fleet")
 	flag.Parse()
 
 	if *fleetSoak {
 		os.Exit(runFleetSoak(*seed, *campaigns, *rounds, *devices))
+	}
+	if *serveSoak {
+		os.Exit(runServeSoak(*seed, *campaigns, *devices))
 	}
 	if *soak {
 		os.Exit(runSoak(*seed, *campaigns, *rounds, *minRecovery))
@@ -147,6 +156,51 @@ func runSoak(seed int64, campaigns, rounds int, minRecovery float64) int {
 	fmt.Printf("\n%s\n", sc)
 	if err := sc.Gate(minRecovery); err != nil {
 		fmt.Fprintln(os.Stderr, "\nGATE FAILED:", err)
+		return 1
+	}
+	fmt.Println("\ngate: PASS")
+	return 0
+}
+
+// runServeSoak executes the seeded serving chaos campaigns and prints one
+// verdict line per campaign. Each campaign runs twice internally — a
+// no-chaos baseline to calibrate the latency envelope, then the chaos pass —
+// and gates on zero hung requests, zero silent drops, zero untyped errors, a
+// bounded p99 and zero leaked goroutines. Returns the process exit code: 0
+// when every campaign's gate holds.
+func runServeSoak(seed int64, campaigns, devices int) int {
+	cfg := campaign.DefaultServeSoakConfig()
+	cfg.Devices = devices
+	fmt.Printf("serve soak: %d campaigns × %d rounds × %d devices × %d req/round, base seed %d\n",
+		campaigns, cfg.Rounds, cfg.Devices, cfg.RequestsPerRound, seed)
+	fmt.Printf("chaos: slow %.0f%%@%v, crash %.1f%%, deadline storm every %d rounds @%v\n",
+		100*cfg.SlowP, cfg.SlowDelay, 100*cfg.CrashP, cfg.StormEvery, cfg.StormDeadline)
+	failed := 0
+	for i := 0; i < campaigns; i++ {
+		res, err := campaign.RunServeSoak(seed+int64(i), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve soak:", err)
+			return 1
+		}
+		verdict := "PASS"
+		fails := res.Failures()
+		if len(fails) != 0 {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("seed %d: %s | served %d/%d admitted (degraded %d, hedged %d, retried %d) "+
+			"| deadline %d overload %d no-device %d faulted %d | slow %d crash %d storms %d ticks %d "+
+			"| p99 %v (baseline %v, bound %v)\n",
+			res.Seed, verdict, res.Stats.Served, res.Stats.Admitted, res.Stats.ServedDegraded,
+			res.Stats.Hedges, res.Stats.Retries, res.Stats.Deadlines, res.Stats.Overloads,
+			res.Stats.NoDevices, res.Stats.FaultFailures, res.InjectedSlows, res.InjectedCrashes,
+			res.StormRounds, res.Ticks, res.ChaosP99, res.BaselineP99, res.P99Bound)
+		for _, f := range fails {
+			fmt.Printf("         gate violation: %s\n", f)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "\nGATE FAILED: %d/%d campaigns violated the serving contract\n", failed, campaigns)
 		return 1
 	}
 	fmt.Println("\ngate: PASS")

@@ -1,0 +1,221 @@
+// Serving frontend: the layer that turns the supervised fleet into a
+// concurrent inference service while the paper's concurrent-test monitoring
+// keeps running underneath. The demo drives a 3-device fleet through the
+// frontend's full failure-handling repertoire, in order:
+//
+//	healthy serving       → bounded-queue admission, health-weighted routing
+//	a slow device         → hedged second attempt on another device wins;
+//	                        the caller never waits out the stall
+//	a crashing device     → mid-request panic is retried once elsewhere,
+//	                        reported into the circuit breaker, and after two
+//	                        faults the device is quarantined without waiting
+//	                        for a monitoring tick
+//	a drifting device     → the monitor confirms Degraded; the device keeps
+//	                        serving but every response is flagged
+//	a deadline storm      → impossible deadlines come back as typed
+//	                        ErrDeadline, never as hangs
+//	overload              → a full queue rejects with typed ErrOverloaded
+//	                        instead of building invisible latency
+//	drain                 → Close answers everything already admitted; the
+//	                        final accounting shows zero silent drops
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"reramtest/internal/engine"
+	"reramtest/internal/fleet"
+	"reramtest/internal/health"
+	"reramtest/internal/models"
+	"reramtest/internal/monitor"
+	"reramtest/internal/nn"
+	"reramtest/internal/rng"
+	"reramtest/internal/serve"
+	"reramtest/internal/tensor"
+	"reramtest/internal/testgen"
+)
+
+// device is an engine-backed accelerator with demo-controllable failure
+// modes. Its Infer runs through one compiled batch-inference plan; the serve
+// Station serialises access, so the single-goroutine engine is safe here.
+type device struct {
+	id   string
+	net  *nn.Network
+	pats *testgen.PatternSet
+	eng  *engine.Engine
+
+	mu    sync.Mutex
+	delay time.Duration // injected readout stall
+	crash bool          // injected mid-request panic
+	shift float64       // injected confidence drift
+}
+
+func (d *device) ID() string                    { return d.id }
+func (d *device) Reference() *nn.Network        { return d.net }
+func (d *device) Patterns() *testgen.PatternSet { return d.pats }
+func (d *device) Repairer() health.Repairer     { return nil }
+
+func (d *device) set(f func(*device)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f(d)
+}
+
+func (d *device) Infer() monitor.Infer {
+	return func(x *tensor.Tensor) *tensor.Tensor {
+		d.mu.Lock()
+		delay, crash, shift := d.delay, d.crash, d.shift
+		d.mu.Unlock()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if crash {
+			panic("device: injected mid-request crash")
+		}
+		probs := d.eng.Probs(x)
+		if shift != 0 {
+			probs.Apply(func(v float64) float64 { return v + shift })
+		}
+		return probs
+	}
+}
+
+func main() {
+	r := rng.New(7)
+	pats := &testgen.PatternSet{
+		Name: "demo", Method: "plain",
+		X:      tensor.RandUniform(r.Split(), 0, 1, 8, 16),
+		Labels: make([]int, 8),
+	}
+	ref := models.MLP(rng.New(1), 16, []int{24, 16}, 6)
+	devs := make([]*device, 3)
+	wrapped := make([]fleet.Device, 3)
+	for i := range devs {
+		net := ref.Clone()
+		devs[i] = &device{id: fmt.Sprintf("accel-%02d", i), net: net, pats: pats,
+			eng: engine.MustCompile(net, engine.Options{Workers: 1})}
+		wrapped[i] = devs[i]
+	}
+
+	fcfg := fleet.DefaultConfig()
+	fcfg.Health.Sleep = func(time.Duration) {} // demo time, no real backoff waits
+	fcfg.BreakerOpenAfter = 2
+	scfg := serve.Config{Workers: 4, QueueBulk: 8, QueueMonitor: 4,
+		HedgeAfter: 5 * time.Millisecond, DefaultDeadline: time.Second}
+	srv, err := serve.New(wrapped, fcfg, scfg, nil)
+	fatal(err)
+	fmt.Printf("serving frontend up: %d devices, %d workers, queues bulk=%d monitor=%d, hedge after %v\n\n",
+		len(devs), scfg.Workers, scfg.QueueBulk, scfg.QueueMonitor, scfg.HedgeAfter)
+
+	batch := func(tag int) *tensor.Tensor {
+		return tensor.RandUniform(rng.New(int64(100+tag)), 0, 1, 2, 16)
+	}
+
+	fmt.Println("--- act 1: healthy fleet, a burst of 12 requests")
+	placed := map[string]int{}
+	for q := 0; q < 12; q++ {
+		resp, err := srv.Do(context.Background(), batch(q), serve.Bulk)
+		fatal(err)
+		placed[resp.Device]++
+	}
+	fmt.Printf("  placement: %v (healthy devices weighted equally)\n\n", placed)
+
+	fmt.Println("--- act 2: accel-00's readout stalls at 40ms; hedging routes around it")
+	devs[0].set(func(d *device) { d.delay = 40 * time.Millisecond })
+	for q := 0; q < 4; q++ {
+		start := time.Now()
+		resp, err := srv.Do(context.Background(), batch(q), serve.Bulk)
+		fatal(err)
+		fmt.Printf("  served by %s in %7v  hedged=%-5v\n", resp.Device, time.Since(start).Round(time.Millisecond), resp.Hedged)
+	}
+	devs[0].set(func(d *device) { d.delay = 0 })
+	fmt.Println()
+
+	fmt.Println("--- act 3: accel-01 starts crashing mid-request")
+	devs[1].set(func(d *device) { d.crash = true })
+	for q := 0; q < 6; q++ {
+		resp, err := srv.Do(context.Background(), batch(q), serve.Bulk)
+		fatal(err)
+		if resp.Retried {
+			fmt.Printf("  request %d: primary crashed, retried on %s — caller saw nothing\n", q, resp.Device)
+		}
+	}
+	fmt.Printf("  quarantined after serving faults (no tick needed): %v\n\n", srv.Quarantined())
+	devs[1].set(func(d *device) { d.crash = false })
+
+	fmt.Println("--- act 4: accel-02 drifts; the monitor confirms Degraded, serving continues flagged")
+	devs[2].set(func(d *device) { d.shift = 0.04 })
+	for i := 0; i < 2; i++ { // EscalateAfter=2 rounds of agreeing evidence
+		_, err := srv.Tick()
+		fatal(err)
+	}
+	for q := 0; q < 3; q++ { // weighted schedule: Healthy×2, Degraded×1
+		resp, err := srv.Do(context.Background(), batch(q), serve.Bulk)
+		fatal(err)
+		fmt.Printf("  served by %s  status=%-8s degraded=%v\n", resp.Device, resp.Status, resp.Degraded)
+	}
+	fmt.Println()
+
+	fmt.Println("--- act 5: a deadline storm (500µs budgets against 10ms devices)")
+	devs[0].set(func(d *device) { d.delay = 10 * time.Millisecond })
+	devs[2].set(func(d *device) { d.delay = 10 * time.Millisecond })
+	deadline := 0
+	for q := 0; q < 6; q++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Microsecond)
+		if _, err := srv.Do(ctx, batch(q), serve.Bulk); errors.Is(err, serve.ErrDeadline) {
+			deadline++
+		}
+		cancel()
+	}
+	fmt.Printf("  %d/6 returned typed ErrDeadline; none hung\n\n", deadline)
+	devs[0].set(func(d *device) { d.delay = 5 * time.Millisecond })
+	devs[2].set(func(d *device) { d.delay = 5 * time.Millisecond })
+
+	fmt.Println("--- act 6: overload — 40 concurrent requests against an 8-deep queue of 5ms devices")
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	overloaded, served := 0, 0
+	for q := 0; q < 40; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			_, err := srv.Do(context.Background(), batch(q), serve.Bulk)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				served++
+			case errors.Is(err, serve.ErrOverloaded):
+				overloaded++
+			}
+		}(q)
+	}
+	wg.Wait()
+	fmt.Printf("  served=%d rejected-typed=%d (bounded queue, no invisible latency)\n\n", served, overloaded)
+
+	fmt.Println("--- act 7: drain")
+	fatal(srv.Close())
+	if _, err := srv.Do(context.Background(), batch(0), serve.Bulk); errors.Is(err, serve.ErrClosed) {
+		fmt.Println("  post-close admission rejected with typed ErrClosed")
+	}
+	st := srv.Stats()
+	fmt.Printf("  final accounting: admitted=%d terminal=%d (served=%d degraded=%d hedges=%d retries=%d deadline=%d overload=%d)\n",
+		st.Admitted, st.Terminal(), st.Served, st.ServedDegraded, st.Hedges, st.Retries, st.Deadlines, st.Overloads)
+	if st.Admitted == st.Terminal() {
+		fmt.Println("  zero silent drops: every admitted request got a response or a typed error")
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serving demo:", err)
+		os.Exit(1)
+	}
+}

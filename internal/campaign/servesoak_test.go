@@ -1,0 +1,38 @@
+package campaign
+
+import "testing"
+
+// TestServeSoakSmoke is the serve-chaos gate at test scale: one seeded
+// campaign with every injection armed must pass all of its own gates AND
+// prove the chaos actually fired (a soak that injected nothing gates
+// nothing). The full campaign sweep runs via `make serve-soak-smoke`.
+func TestServeSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve soak needs real wall-clock for deadlines and hedges")
+	}
+	cfg := DefaultServeSoakConfig()
+	cfg.Rounds = 8
+	res, err := RunServeSoak(4242, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := res.Failures(); len(fails) != 0 {
+		t.Fatalf("serve soak gate failed: %v\n(stats: %+v)", fails, res.Stats)
+	}
+	if res.InjectedSlows+res.InjectedCrashes == 0 {
+		t.Fatal("chaos pass injected no faults — the soak gated nothing")
+	}
+	if res.StormRounds == 0 || res.Ticks == 0 {
+		t.Fatalf("storms=%d ticks=%d — campaign did not exercise deadline storms or concurrent monitoring",
+			res.StormRounds, res.Ticks)
+	}
+	if res.Stats.Admitted == 0 || res.Requests == 0 {
+		t.Fatalf("no traffic flowed: %+v", res)
+	}
+}
+
+func TestServeSoakRejectsBadConfig(t *testing.T) {
+	if _, err := RunServeSoak(1, ServeSoakConfig{}); err == nil {
+		t.Fatal("zero-device serve soak accepted")
+	}
+}

@@ -253,6 +253,20 @@ func (e *Engine) Probs(x *tensor.Tensor) *tensor.Tensor {
 	return e.probs
 }
 
+// ProbsInto runs ForwardBatch and applies the row-wise softmax, writing the
+// (N, outDim) confidence batch into dst and returning it. Unlike Probs the
+// result does not alias any engine workspace, so the caller owns it outright
+// — this is the snapshot primitive that lets one compiled plan serve
+// multiple consumers (see Shared).
+func (e *Engine) ProbsInto(dst, x *tensor.Tensor) *tensor.Tensor {
+	logits := e.ForwardBatch(nil, x)
+	n := logits.Dim(0)
+	tensor.AssertDims("engine.ProbsInto dst", dst, n, e.outVol)
+	copy(dst.Data(), logits.Data())
+	nn.SoftmaxInPlace(dst)
+	return dst
+}
+
 // Predict returns the argmax class per sample, matching nn.Network.Predict.
 func (e *Engine) Predict(x *tensor.Tensor) []int {
 	logits := e.ForwardBatch(nil, x)

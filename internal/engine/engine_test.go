@@ -2,6 +2,7 @@ package engine
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"reramtest/internal/models"
@@ -9,6 +10,55 @@ import (
 	"reramtest/internal/rng"
 	"reramtest/internal/tensor"
 )
+
+// TestSharedConcurrentCallersBitIdentical: one compiled plan behind a Shared
+// wrapper, hammered by concurrent goroutines with different batches — every
+// caller must get exactly the confidences a private engine would have
+// produced for its batch, because results are copied out of the shared
+// workspaces before the plan lock is released. Run under -race this is also
+// the locking regression test for serve's per-device plan reuse.
+func TestSharedConcurrentCallersBitIdentical(t *testing.T) {
+	r := rng.New(11)
+	net := models.MLP(r, 16, []int{24, 16}, 6)
+	shared := NewShared(MustCompile(net, Options{}))
+
+	const workers, iters = 8, 50
+	batches := make([]*tensor.Tensor, workers)
+	want := make([]*tensor.Tensor, workers)
+	for w := range batches {
+		n := 1 + w%4 // mixed batch sizes stress the workspace resizing path
+		batches[w] = tensor.RandUniform(rng.New(int64(100+w)), 0, 1, n, 16)
+		// golden per-batch answer from a private, serial engine
+		want[w] = MustCompile(net, Options{}).Probs(batches[w]).Clone()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dst := tensor.New(batches[w].Dim(0), 6)
+			for i := 0; i < iters; i++ {
+				var got *tensor.Tensor
+				if i%2 == 0 {
+					got = shared.Probs(batches[w])
+				} else {
+					got = shared.ProbsInto(dst, batches[w])
+				}
+				if !got.Equal(want[w]) {
+					errs <- "shared engine returned confidences from someone else's batch"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
 
 // seedModels enumerates every architecture the repo ships. The golden
 // equivalence gate below runs each one through the engine and demands exact

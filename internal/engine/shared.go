@@ -1,0 +1,58 @@
+// Shared: one compiled plan, many goroutines. An Engine is a
+// single-goroutine object — its per-layer workspaces are reused across
+// calls, so two concurrent ForwardBatch calls would trample each other's
+// activations. The serving frontend, however, wants the monitoring tick and
+// inference requests to reuse ONE plan per device rather than compile (and
+// allocate) a private plan per goroutine. Shared provides exactly that: a
+// mutex serialises plan execution, and results are copied out of the
+// workspaces *before* the lock is released, so a caller's batch can never be
+// overwritten by whoever grabs the plan next.
+//
+// The cost is one (N, outDim) allocation + copy per call — for the
+// concurrent-test workloads that is a few hundred float64s against a matmul
+// stack thousands of times larger, and only the concurrent consumers pay it;
+// single-owner paths (campaign plants inside their own tick, benchmarks)
+// keep calling the zero-alloc Engine methods directly.
+package engine
+
+import (
+	"sync"
+
+	"reramtest/internal/tensor"
+)
+
+// Shared wraps a compiled Engine for concurrent use.
+type Shared struct {
+	mu sync.Mutex
+	e  *Engine
+}
+
+// NewShared wraps e. The engine must not be used directly (unlocked) while
+// the Shared wrapper is in circulation.
+func NewShared(e *Engine) *Shared { return &Shared{e: e} }
+
+// Probs runs the (N, inDim) batch x through the shared plan and returns a
+// freshly allocated (N, outDim) softmax confidence batch owned by the
+// caller. Its method value satisfies monitor.Infer, like Engine.Probs.
+func (s *Shared) Probs(x *tensor.Tensor) *tensor.Tensor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.ProbsInto(tensor.New(x.Dim(0), s.e.OutDim()), x)
+}
+
+// ProbsInto is Probs with a caller-supplied destination — the allocation-free
+// variant for callers that pool their own response buffers.
+func (s *Shared) ProbsInto(dst, x *tensor.Tensor) *tensor.Tensor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.ProbsInto(dst, x)
+}
+
+// WithEngine runs f with exclusive access to the underlying engine — the
+// escape hatch for rebinds and other plan surgery that must not interleave
+// with inference.
+func (s *Shared) WithEngine(f func(e *Engine) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return f(s.e)
+}

@@ -13,6 +13,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -264,6 +265,13 @@ func build(devices []Device, cfg Config, jw *journal.Writer) (*Supervisor, error
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.MinServing > len(devices) {
+		// an impossible load-shedding floor would make the router shed every
+		// request forever — a config bug better rejected at commissioning than
+		// discovered as a 100% error rate in production
+		return nil, fmt.Errorf("fleet: MinServing %d exceeds fleet size %d — the router could never dispatch",
+			cfg.MinServing, len(devices))
+	}
 	cfg = cfg.withDefaults(len(devices))
 	s := &Supervisor{
 		cfg:    cfg,
@@ -300,7 +308,16 @@ func build(devices []Device, cfg Config, jw *journal.Writer) (*Supervisor, error
 // commissioning order. A journaling failure is returned after the round's
 // state is already updated in memory — the caller must treat it as fatal
 // for durability guarantees.
-func (s *Supervisor) Tick() ([]RoundResult, error) {
+func (s *Supervisor) Tick() ([]RoundResult, error) { return s.TickCtx(context.Background()) }
+
+// TickCtx is Tick with a cancellation context, plumbed into every device's
+// supervised round (health.SuperviseBudgetCtx): a ctx canceled mid-tick cuts
+// readout retry/backoff sleeps and stops repair escalation between attempts,
+// so a draining frontend is never stuck behind a full backoff schedule. The
+// round still completes structurally — every device produces a result and
+// the tick is journaled — because a half-recorded tick would be worse than a
+// slow one.
+func (s *Supervisor) TickCtx(ctx context.Context) ([]RoundResult, error) {
 	s.round++
 	results := make([]RoundResult, len(s.order))
 
@@ -311,7 +328,7 @@ func (s *Supervisor) Tick() ([]RoundResult, error) {
 		sem <- struct{}{}
 		go func(i int, ds *deviceState) {
 			defer func() { <-sem; wg.Done() }()
-			results[i] = s.tickDevice(ds)
+			results[i] = s.tickDevice(ctx, ds)
 		}(i, s.states[id])
 	}
 	wg.Wait()
@@ -323,7 +340,7 @@ func (s *Supervisor) Tick() ([]RoundResult, error) {
 
 // tickDevice runs one device's share of a tick. It touches only ds (and the
 // device behind it), so devices proceed in parallel safely.
-func (s *Supervisor) tickDevice(ds *deviceState) RoundResult {
+func (s *Supervisor) tickDevice(ctx context.Context, ds *deviceState) RoundResult {
 	res := RoundResult{Device: ds.dev.ID(), Round: s.round}
 
 	if ds.retired {
@@ -360,7 +377,7 @@ func (s *Supervisor) tickDevice(ds *deviceState) RoundResult {
 	if grant > s.cfg.Health.MaxRepairAttempts {
 		grant = s.cfg.Health.MaxRepairAttempts
 	}
-	ep := ds.rt.SuperviseBudget(ds.dev.Infer(), ds.dev.Repairer(), grant)
+	ep := ds.rt.SuperviseBudgetCtx(ctx, ds.dev.Infer(), ds.dev.Repairer(), grant)
 	ds.budget -= len(ep.Attempts)
 
 	res.Confirmed = ds.rt.Confirmed()
@@ -430,7 +447,44 @@ func (s *Supervisor) servingEntries() []RouteEntry {
 
 // Dispatch routes one inference request through the health-aware router.
 // ok=false means the fleet is shedding load.
-func (s *Supervisor) Dispatch() (id string, ok bool) { return s.router.Dispatch() }
+func (s *Supervisor) Dispatch() (id string, ok bool) {
+	id, _, ok = s.router.Dispatch()
+	return id, ok
+}
+
+// DispatchAvoiding routes one request anywhere except `avoid` (the hedged
+// retry: a request's second attempt must never land on the device that just
+// stalled or faulted on it) and also reports the chosen device's serving
+// status, so the frontend can flag responses produced by a
+// Degraded-but-serving accelerator. Routing and the status snapshot come
+// from the router's own schedule — safe to call from request goroutines
+// concurrently with ticks.
+func (s *Supervisor) DispatchAvoiding(avoid string) (id string, status monitor.Status, ok bool) {
+	return s.router.DispatchAvoiding(avoid)
+}
+
+// ReportServingFault feeds one serving-path failure on id — a panic, a
+// poisoned or missing response observed by the inference frontend — into the
+// device's circuit breaker, exactly as a monitoring-round sensor fault
+// would. Enough consecutive serving faults (BreakerOpenAfter, shared with
+// the monitoring path) trip the breaker: the device is quarantined and
+// leaves the dispatch schedule immediately, without waiting for the next
+// monitoring tick to notice. It reports whether this fault tripped the
+// breaker.
+//
+// Like Tick, this belongs to the supervisor's owner goroutine (the serving
+// frontend serialises it behind its backend lock).
+func (s *Supervisor) ReportServingFault(id string) (tripped bool) {
+	ds, ok := s.states[id]
+	if !ok || ds.retired || ds.breaker.State != BreakerClosed {
+		return false
+	}
+	tripped = ds.breaker.ObserveRound(true, s.round, s.cfg.BreakerOpenAfter)
+	if tripped {
+		s.router.Update(s.servingEntries())
+	}
+	return tripped
+}
 
 // Complete retires one in-flight request from id.
 func (s *Supervisor) Complete(id string) { s.router.Complete(id) }

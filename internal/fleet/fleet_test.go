@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -162,9 +163,12 @@ func TestRouterWeightingAndShed(t *testing.T) {
 	})
 	counts := map[string]int{}
 	for i := 0; i < 300; i++ {
-		id, ok := r.Dispatch()
+		id, status, ok := r.Dispatch()
 		if !ok {
 			t.Fatal("shed with two serving devices")
+		}
+		if id == "d" && status != monitor.Degraded {
+			t.Fatalf("dispatch to d reported status %s", status)
 		}
 		counts[id]++
 	}
@@ -189,12 +193,141 @@ func TestRouterWeightingAndShed(t *testing.T) {
 	// shed below the serving floor
 	r = NewRouter(2)
 	r.Update([]RouteEntry{{ID: "h", Status: monitor.Healthy}})
-	if _, ok := r.Dispatch(); ok {
+	if _, _, ok := r.Dispatch(); ok {
 		t.Fatal("dispatched below MinServing")
 	}
 	if _, sheds := r.Stats(); sheds != 1 {
 		t.Fatalf("shed not counted: %d", sheds)
 	}
+}
+
+func TestRouterDispatchAvoiding(t *testing.T) {
+	r := NewRouter(1)
+	r.Update([]RouteEntry{
+		{ID: "a", Status: monitor.Healthy},
+		{ID: "b", Status: monitor.Healthy},
+	})
+	for i := 0; i < 50; i++ {
+		id, _, ok := r.DispatchAvoiding("a")
+		if !ok || id == "a" {
+			t.Fatalf("hedge dispatch %d landed on the avoided device (id=%q ok=%v)", i, id, ok)
+		}
+	}
+	// only the avoided device serves → no legal hedge placement
+	r.Update([]RouteEntry{{ID: "a", Status: monitor.Healthy}})
+	if id, _, ok := r.DispatchAvoiding("a"); ok {
+		t.Fatalf("hedge with no alternate dispatched to %q", id)
+	}
+}
+
+// TestRouterConcurrentRouteAndUpdate hammers Dispatch/Complete from many
+// goroutines while the serving set is concurrently rebuilt — the shape of
+// traffic the serving frontend puts on the router. Run under -race (the
+// fleet package is in RACE_PKGS) this is the regression test for the
+// router's internal locking; the invariant checked here is that every
+// dispatched ID is one the router was ever offered.
+func TestRouterConcurrentRouteAndUpdate(t *testing.T) {
+	r := NewRouter(1)
+	sets := [][]RouteEntry{
+		{{ID: "a", Status: monitor.Healthy}, {ID: "b", Status: monitor.Degraded}},
+		{{ID: "b", Status: monitor.Healthy}},
+		{{ID: "a", Status: monitor.Degraded}, {ID: "c", Status: monitor.Healthy}},
+		{}, // full shed
+	}
+	r.Update(sets[0])
+	known := map[string]bool{"a": true, "b": true, "c": true}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				avoid := ""
+				if i%3 == 0 {
+					avoid = "a"
+				}
+				if id, _, ok := r.DispatchAvoiding(avoid); ok {
+					if !known[id] || (avoid != "" && id == avoid) {
+						panic(fmt.Sprintf("dispatched to %q (avoid=%q)", id, avoid))
+					}
+					r.Complete(id)
+				}
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for i := 0; ; i++ {
+		r.Update(sets[i%len(sets)])
+		if i%100 == 0 {
+			r.Serving()
+			r.Stats()
+			r.Drained("a")
+			if routed, _ := r.Stats(); (routed > 5000 && i > 2000) || time.Now().After(deadline) {
+				break
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if routed, _ := r.Stats(); routed == 0 {
+		t.Fatal("concurrent hammer routed nothing — test exercised no dispatches")
+	}
+}
+
+func TestMinServingValidatedAgainstFleetSize(t *testing.T) {
+	devs := testFleet(2)
+	cfg := testConfig()
+	cfg.MinServing = 3
+	if _, err := New(asDevices(devs), cfg, nil); err == nil {
+		t.Fatal("MinServing above fleet size accepted — the router could never dispatch")
+	}
+	cfg.MinServing = 2
+	if _, err := New(asDevices(devs), cfg, nil); err != nil {
+		t.Fatalf("MinServing == fleet size rejected: %v", err)
+	}
+}
+
+// TestReportServingFaultTripsBreaker: serving-path failures feed the same
+// breaker the monitoring path uses; enough of them quarantine the device
+// without waiting for a monitoring tick.
+func TestReportServingFaultTripsBreaker(t *testing.T) {
+	devs := testFleet(2)
+	cfg := testConfig()
+	cfg.BreakerOpenAfter = 2
+	sup, err := New(asDevices(devs), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(devs, 1)
+	if _, err := sup.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	id := devs[0].id
+	if sup.ReportServingFault(id) {
+		t.Fatal("breaker tripped after a single serving fault with openAfter=2")
+	}
+	if !sup.ReportServingFault(id) {
+		t.Fatal("second consecutive serving fault did not trip the breaker")
+	}
+	for _, q := range sup.Quarantined() {
+		if q == id {
+			// quarantined device must be out of the schedule immediately
+			for i := 0; i < 20; i++ {
+				if got, ok := sup.Dispatch(); ok && got == id {
+					t.Fatal("quarantined device still dispatched")
+				}
+			}
+			return
+		}
+	}
+	t.Fatalf("tripped device %s not quarantined: %v", id, sup.Quarantined())
 }
 
 // TestQuarantineAndProbeRecovery: a sensor-dead window trips the breaker;

@@ -1,6 +1,10 @@
 package fleet
 
-import "reramtest/internal/monitor"
+import (
+	"sync"
+
+	"reramtest/internal/monitor"
+)
 
 // RouteEntry is one serving-eligible accelerator the supervisor offers the
 // router after a tick: breaker closed, not retired, confirmed status at
@@ -22,10 +26,17 @@ type RouteEntry struct {
 // the serving set drains visibly: no new requests land on it, and the
 // supervisor can wait for Drained before handing it to repair or service.
 //
-// Like the supervisor that owns it, a Router is not safe for concurrent use.
+// Unlike the supervisor that owns it, a Router IS safe for concurrent use:
+// the serving frontend (internal/serve) dispatches from many worker
+// goroutines while the supervisor's owner goroutine rebuilds the schedule
+// after each tick. All methods serialise on one internal mutex — the
+// schedule is a handful of string slots, so the critical sections are
+// nanoseconds against inference calls that are micro- to milliseconds.
 type Router struct {
+	mu         sync.Mutex
 	minServing int
 	schedule   []string // weighted round-robin expansion
+	status     map[string]monitor.Status
 	cursor     int
 	inflight   map[string]int
 	routed     int
@@ -38,7 +49,8 @@ func NewRouter(minServing int) *Router {
 	if minServing < 1 {
 		minServing = 1
 	}
-	return &Router{minServing: minServing, inflight: make(map[string]int)}
+	return &Router{minServing: minServing, inflight: make(map[string]int),
+		status: make(map[string]monitor.Status)}
 }
 
 // weightFor maps a serving status to its dispatch weight.
@@ -57,7 +69,10 @@ func weightFor(s monitor.Status) int {
 // is preserved (the supervisor passes devices in commissioning order), so
 // the schedule — and therefore routing — is deterministic.
 func (r *Router) Update(entries []RouteEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.schedule = r.schedule[:0]
+	clear(r.status)
 	serving := 0
 	for _, e := range entries {
 		w := weightFor(e.Status)
@@ -65,6 +80,7 @@ func (r *Router) Update(entries []RouteEntry) {
 			continue
 		}
 		serving++
+		r.status[e.ID] = e.Status
 		for i := 0; i < w; i++ {
 			r.schedule = append(r.schedule, e.ID)
 		}
@@ -73,6 +89,7 @@ func (r *Router) Update(entries []RouteEntry) {
 		// graceful shed: better to reject load than to route it into a fleet
 		// too damaged to answer honestly
 		r.schedule = r.schedule[:0]
+		clear(r.status)
 	}
 	if len(r.schedule) == 0 {
 		r.cursor = 0
@@ -81,34 +98,66 @@ func (r *Router) Update(entries []RouteEntry) {
 	}
 }
 
-// Dispatch routes one request: it returns the chosen device, or ok=false
-// when the fleet is shedding load.
-func (r *Router) Dispatch() (id string, ok bool) {
-	if len(r.schedule) == 0 {
-		r.sheds++
-		return "", false
+// Dispatch routes one request: it returns the chosen device and its serving
+// status, or ok=false when the fleet is shedding load.
+func (r *Router) Dispatch() (id string, status monitor.Status, ok bool) {
+	return r.DispatchAvoiding("")
+}
+
+// DispatchAvoiding is Dispatch with one device excluded — the hedged-retry
+// path: a request whose first attempt stalled or faulted on `avoid` must
+// land anywhere else (quarantined devices are never in the schedule to begin
+// with). ok=false when the schedule is empty or offers only the avoided
+// device; the caller then has no legal second placement and reports a typed
+// error instead of doubling down on the suspect accelerator.
+func (r *Router) DispatchAvoiding(avoid string) (id string, status monitor.Status, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for probe := 0; probe < len(r.schedule); probe++ {
+		candidate := r.schedule[r.cursor]
+		r.cursor = (r.cursor + 1) % len(r.schedule)
+		if candidate == avoid {
+			continue
+		}
+		r.inflight[candidate]++
+		r.routed++
+		return candidate, r.status[candidate], true
 	}
-	id = r.schedule[r.cursor]
-	r.cursor = (r.cursor + 1) % len(r.schedule)
-	r.inflight[id]++
-	r.routed++
-	return id, true
+	r.sheds++
+	return "", 0, false
 }
 
 // Complete retires one in-flight request from id.
 func (r *Router) Complete(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.inflight[id] > 0 {
 		r.inflight[id]--
 	}
 }
 
 // InFlight returns the number of requests currently outstanding on id.
-func (r *Router) InFlight(id string) int { return r.inflight[id] }
+func (r *Router) InFlight(id string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inflight[id]
+}
 
 // Drained reports whether id has no outstanding requests — a quarantined
 // device must reach this state before invasive repair or replacement.
-func (r *Router) Drained(id string) bool { return r.inflight[id] == 0 }
+func (r *Router) Drained(id string) bool { return r.InFlight(id) == 0 }
+
+// Serving returns the number of distinct devices in the current schedule.
+func (r *Router) Serving() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.status)
+}
 
 // Stats returns lifetime dispatch counters: requests routed and requests
 // shed.
-func (r *Router) Stats() (routed, sheds int) { return r.routed, r.sheds }
+func (r *Router) Stats() (routed, sheds int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.routed, r.sheds
+}

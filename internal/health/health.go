@@ -19,6 +19,7 @@
 package health
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -224,10 +225,21 @@ func (rt *Runtime) History() []Round {
 // raw classification by the wrapped monitor, then hysteresis update. It
 // never panics, whatever accel does.
 func (rt *Runtime) Check(accel monitor.Infer) Round {
+	return rt.CheckCtx(context.Background(), accel)
+}
+
+// CheckCtx is Check with a cancellation context: a ctx that expires or is
+// canceled aborts the retry/backoff schedule promptly — the remaining
+// attempts (and their sleeps) are skipped and the round is recorded as a
+// sensor fault whose Err wraps ctx.Err(). Cancellation never interrupts an
+// attempt already executing (Infer is synchronous); it cuts the waits
+// between attempts, which is where a shutting-down supervisor actually
+// spends its time.
+func (rt *Runtime) CheckCtx(ctx context.Context, accel monitor.Infer) Round {
 	rt.seq++
 	round := Round{Seq: rt.seq}
 
-	probs, rejected, err := rt.readout(accel)
+	probs, rejected, err := rt.readout(ctx, accel)
 	round.Rejected = rejected
 	rt.rejects += rejected
 	if err != nil {
@@ -304,12 +316,16 @@ func (rt *Runtime) record(r Round) {
 // readout obtains one validated confidence batch from accel, retrying
 // rejected attempts with bounded exponential backoff. It returns the batch,
 // the number of rejected attempts, and the last rejection when every attempt
-// failed.
-func (rt *Runtime) readout(accel monitor.Infer) (probs *tensor.Tensor, rejected int, err error) {
+// failed. A canceled ctx short-circuits the remaining schedule: the error
+// then wraps ctx.Err() so callers can distinguish "sensor broken" from
+// "caller gave up waiting".
+func (rt *Runtime) readout(ctx context.Context, accel monitor.Infer) (probs *tensor.Tensor, rejected int, err error) {
 	backoff := rt.cfg.BackoffBase
 	for attempt := 0; attempt <= rt.cfg.MaxReadRetries; attempt++ {
 		if attempt > 0 {
-			rt.sleep(backoff)
+			if cerr := rt.sleepCtx(ctx, backoff); cerr != nil {
+				return nil, rejected, fmt.Errorf("health: readout retries aborted after %d rejections (last: %v): %w", rejected, err, cerr)
+			}
 			backoff *= 2
 			if backoff > rt.cfg.BackoffMax {
 				backoff = rt.cfg.BackoffMax
@@ -358,13 +374,27 @@ func (rt *Runtime) validate(probs *tensor.Tensor) error {
 	return nil
 }
 
-func (rt *Runtime) sleep(d time.Duration) {
+// sleepCtx waits d on the configured clock, returning early (with ctx.Err())
+// when ctx is canceled first. With an injected Sleep the cancellation check
+// runs before the callback — simulated-time campaigns see the same prompt
+// abort semantics without a real timer.
+func (rt *Runtime) sleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if d <= 0 {
-		return
+		return nil
 	}
 	if rt.cfg.Sleep != nil {
 		rt.cfg.Sleep(d)
-		return
+		return ctx.Err()
 	}
-	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

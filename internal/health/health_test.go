@@ -1,6 +1,7 @@
 package health
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -323,6 +324,75 @@ func TestSuperviseRepairApplyError(t *testing.T) {
 	}
 	if ep.Attempts[0].ApplyErr == nil {
 		t.Fatal("apply error not recorded")
+	}
+}
+
+func TestCheckCtxCanceledSkipsBackoffSchedule(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxReadRetries = 5
+	rt, _ := testRuntime(t, cfg)
+	sleeps, attempts := 0, 0
+	rt.cfg.Sleep = func(time.Duration) { sleeps++ }
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := rt.CheckCtx(ctx, func(x *tensor.Tensor) *tensor.Tensor { attempts++; return nil })
+	if attempts != 1 {
+		t.Fatalf("canceled ctx ran %d attempts, want exactly the first", attempts)
+	}
+	if sleeps != 0 {
+		t.Fatalf("canceled ctx still slept %d times", sleeps)
+	}
+	if !r.SensorFault || !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("aborted round must be a sensor fault wrapping ctx.Err(): %+v", r)
+	}
+	if r.Status() == monitor.Healthy {
+		t.Fatalf("aborted readout round reports %s", r.Status())
+	}
+}
+
+func TestCheckCtxCancelCutsRealBackoffSleep(t *testing.T) {
+	net := models.MLP(rng.New(1), 16, []int{12}, 5)
+	patterns := &testgen.PatternSet{
+		Name: "t", Method: "plain",
+		X:      tensor.RandUniform(rng.New(2), 0, 1, 8, 16),
+		Labels: make([]int, 8),
+	}
+	cfg := DefaultConfig()
+	cfg.BackoffBase = 30 * time.Second // would dominate the test if not cut
+	cfg.BackoffMax = 30 * time.Second
+	rt, err := New(monitor.MustNew(net, patterns, nil, monitor.DefaultConfig()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	r := rt.CheckCtx(ctx, func(x *tensor.Tensor) *tensor.Tensor { return nil })
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation did not cut the 30s backoff sleep: took %v", elapsed)
+	}
+	if !errors.Is(r.Err, context.DeadlineExceeded) {
+		t.Fatalf("round error %v does not wrap the deadline", r.Err)
+	}
+}
+
+func TestSuperviseCtxCanceledStartsNoRepair(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EscalateAfter = 1
+	rt, net := testRuntime(t, cfg)
+	rt.Check(shiftInfer(net, 0.12))
+	if rt.Confirmed() != monitor.Critical {
+		t.Fatalf("setup: confirmed %s", rt.Confirmed())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sr := &stepRepairer{needs: repair.Reprogram}
+	ep := rt.SuperviseCtx(ctx, shiftInfer(net, 0.12), sr)
+	if len(sr.applied) != 0 {
+		t.Fatalf("canceled episode still applied repairs: %v", sr.applied)
+	}
+	if ep.GaveUp {
+		t.Fatalf("drain-time cancellation must not condemn the device: %s", ep)
 	}
 }
 

@@ -8,6 +8,7 @@
 package health
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -110,6 +111,12 @@ func (rt *Runtime) Supervise(accel monitor.Infer, rep Repairer) Episode {
 	return rt.SuperviseBudget(accel, rep, rt.cfg.MaxRepairAttempts)
 }
 
+// SuperviseCtx is Supervise with a cancellation context: see
+// SuperviseBudgetCtx for the abort semantics.
+func (rt *Runtime) SuperviseCtx(ctx context.Context, accel monitor.Infer, rep Repairer) Episode {
+	return rt.SuperviseBudgetCtx(ctx, accel, rep, rt.cfg.MaxRepairAttempts)
+}
+
 // SuperviseBudget is Supervise with an explicit cap on this episode's
 // (apply, verify) cycles, for callers that account repair spend across
 // episodes — the fleet supervisor grants each episode
@@ -118,7 +125,19 @@ func (rt *Runtime) Supervise(accel monitor.Infer, rep Repairer) Episode {
 // immediately, which is the fleet's cue to retire the device to hardware
 // service.
 func (rt *Runtime) SuperviseBudget(accel monitor.Infer, rep Repairer, budget int) Episode {
-	round := rt.Check(accel)
+	return rt.SuperviseBudgetCtx(context.Background(), accel, rep, budget)
+}
+
+// SuperviseBudgetCtx is SuperviseBudget with a cancellation context. A ctx
+// that expires aborts retry/backoff sleeps promptly (see CheckCtx) and stops
+// the escalation ladder between attempts: no new repair cycle starts once
+// ctx is done, so a shutting-down supervisor drains in bounded time instead
+// of finishing a full escalate-and-verify schedule nobody is waiting for.
+// An attempt already applying or verifying runs to completion — repairs are
+// transactions, and tearing one down halfway would leave the hardware in a
+// state the journal cannot describe.
+func (rt *Runtime) SuperviseBudgetCtx(ctx context.Context, accel monitor.Infer, rep Repairer, budget int) Episode {
+	round := rt.CheckCtx(ctx, accel)
 	ep := Episode{Trigger: round, Final: rt.confirmed, Recommendation: "none"}
 	if round.Confirmed < monitor.Degraded || rep == nil {
 		return ep
@@ -137,6 +156,9 @@ func (rt *Runtime) SuperviseBudget(accel monitor.Infer, rep Repairer, budget int
 		budget = rt.cfg.MaxRepairAttempts
 	}
 	for len(ep.Attempts) < budget {
+		if ctx.Err() != nil {
+			break
+		}
 		att := Attempt{Action: action}
 		newRef, err := rep.Apply(action)
 		if err != nil {
@@ -146,7 +168,7 @@ func (rt *Runtime) SuperviseBudget(accel monitor.Infer, rep Repairer, budget int
 				rt.mon.Recommission(newRef)
 				att.Recommissioned = true
 			}
-			att.Verified, att.VerifyDist = rt.verify(accel)
+			att.Verified, att.VerifyDist = rt.verify(ctx, accel)
 		}
 		ep.Attempts = append(ep.Attempts, att)
 		if att.Verified {
@@ -166,8 +188,15 @@ func (rt *Runtime) SuperviseBudget(accel monitor.Infer, rep Repairer, budget int
 	}
 	ep.Final = rt.confirmed
 	if !ep.Recovered {
-		ep.GaveUp = true
-		ep.Recommendation = "hardware service: spare-array remapping or module replacement"
+		if ctx.Err() != nil {
+			// the caller canceled, the hardware was not exonerated or
+			// condemned — the episode ends without a service verdict so a
+			// drain-time cancellation cannot retire a repairable device
+			ep.Recommendation = fmt.Sprintf("episode aborted: %v", ctx.Err())
+		} else {
+			ep.GaveUp = true
+			ep.Recommendation = "hardware service: spare-array remapping or module replacement"
+		}
 	}
 	return ep
 }
@@ -177,10 +206,10 @@ func (rt *Runtime) SuperviseBudget(accel monitor.Infer, rep Repairer, budget int
 // through the wrapped monitor (so they appear in its history) but bypass the
 // hysteresis tracker: they are part of the repair transaction, and success
 // resets the tracker wholesale via forceConfirmed.
-func (rt *Runtime) verify(accel monitor.Infer) (ok bool, worstDist float64) {
+func (rt *Runtime) verify(ctx context.Context, accel monitor.Infer) (ok bool, worstDist float64) {
 	ok = true
 	for v := 0; v < rt.cfg.VerifyRounds; v++ {
-		probs, rejected, err := rt.readout(accel)
+		probs, rejected, err := rt.readout(ctx, accel)
 		rt.rejects += rejected
 		if err != nil {
 			return false, worstDist

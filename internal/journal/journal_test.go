@@ -52,6 +52,55 @@ func TestReplayMissingFile(t *testing.T) {
 	}
 }
 
+// TestReopenEmptyJournal is the regression test for the zero-length-WAL
+// path: a journal file that exists but holds no records yet — created and
+// crashed before the first append, or just touched by provisioning — must
+// reopen as a valid empty journal (no records, nothing truncated, writer
+// positioned at byte 0), not as an error. Both the never-written and the
+// created-then-closed-empty variants are covered.
+func TestReopenEmptyJournal(t *testing.T) {
+	cases := map[string]func(t *testing.T, path string){
+		"touched": func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"created-closed": func(t *testing.T, path string) {
+			w, err := Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, setup := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := tmpJournal(t)
+			setup(t, path)
+			w, records, truncated, err := OpenAppend(path)
+			if err != nil {
+				t.Fatalf("reopening an empty journal failed: %v", err)
+			}
+			if len(records) != 0 || truncated != 0 {
+				t.Fatalf("empty journal replayed records=%d truncated=%d", len(records), truncated)
+			}
+			// and it must be fully usable from there
+			if err := w.Append([]byte("first")); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			records, truncated, err = Replay(path)
+			if err != nil || truncated != 0 || len(records) != 1 || string(records[0]) != "first" {
+				t.Fatalf("post-reopen journal unusable: records=%q truncated=%d err=%v", records, truncated, err)
+			}
+		})
+	}
+}
+
 // TestTornTailTruncated simulates a crash mid-append: the final frame is cut
 // at every possible byte boundary, and the reopen must recover exactly the
 // records before it.

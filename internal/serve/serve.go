@@ -1,0 +1,536 @@
+// Package serve is the concurrent inference frontend over the fleet: the
+// layer that turns "a supervised pool of self-testing accelerators"
+// (internal/fleet over internal/health) into something a caller can actually
+// throw traffic at while the concurrent-test monitor keeps running
+// underneath.
+//
+// The request path, end to end:
+//
+//   - Admission. Do is non-blocking: each priority class has a bounded
+//     queue, and a full queue rejects immediately with ErrOverloaded rather
+//     than letting latency build invisibly. Monitor-class traffic (test
+//     patterns, health probes) has its own queue that every worker drains
+//     first, so bulk saturation can never starve the monitoring scheme.
+//   - Deadlines. Every request carries a context deadline (DefaultDeadline
+//     is applied when the caller brought none) honored at every stage: a
+//     request that expires in the queue is answered with ErrDeadline without
+//     touching a device, and one that expires mid-flight returns ErrDeadline
+//     while its attempt finishes harmlessly in the background.
+//   - Hedging. The first attempt lands on the router's weighted choice. If
+//     it is still silent after HedgeAfter, a second attempt is launched on a
+//     different device (never the same one, never a quarantined one — the
+//     router guarantees both) and the first answer wins. A faulted first
+//     attempt triggers the same second placement immediately.
+//   - Fault feedback. Any attempt that panics, returns nil/malformed output
+//     or non-finite confidences is reported into the fleet's circuit breaker
+//     via ReportServingFault — serving traffic is a health sensor too, and a
+//     device that keeps eating requests is quarantined without waiting for
+//     the next monitoring tick.
+//   - Degraded serving. When the router places a request on a
+//     Degraded-but-serving accelerator the response says so
+//     (Response.Degraded) instead of failing: the paper's economics want
+//     maximum useful life out of drifting silicon, and the caller decides
+//     what confidence to put in the answer.
+//   - Drain. Close stops admission (ErrClosed), then every already-admitted
+//     request still gets its answer before Close returns; no goroutine
+//     outlives it.
+//
+// Every admitted request terminates in exactly one of: a Response, or an
+// error matching ErrDeadline, ErrNoDevices or ErrFaulted. The chaos soak
+// (internal/campaign.RunServeSoak) audits that invariant under injected
+// slow readouts, mid-request crashes and deadline storms.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reramtest/internal/fleet"
+	"reramtest/internal/journal"
+	"reramtest/internal/monitor"
+	"reramtest/internal/tensor"
+)
+
+// Config tunes the serving frontend.
+type Config struct {
+	// Workers is the number of request-handling goroutines (0 → 4).
+	Workers int
+	// QueueBulk bounds the bulk admission queue (0 → 64).
+	QueueBulk int
+	// QueueMonitor bounds the monitor-priority admission queue (0 → 16).
+	QueueMonitor int
+	// HedgeAfter is how long the first attempt may stay silent before a
+	// hedged second attempt is launched on another device (0 → 20ms).
+	HedgeAfter time.Duration
+	// DefaultDeadline is applied to requests whose context carries no
+	// deadline (0 → 1s).
+	DefaultDeadline time.Duration
+}
+
+// DefaultConfig returns the serving defaults.
+func DefaultConfig() Config {
+	return Config{Workers: 4, QueueBulk: 64, QueueMonitor: 16,
+		HedgeAfter: 20 * time.Millisecond, DefaultDeadline: time.Second}
+}
+
+// Validate rejects configurations the server cannot operate under.
+func (c Config) Validate() error {
+	if c.Workers < 0 || c.QueueBulk < 0 || c.QueueMonitor < 0 {
+		return fmt.Errorf("serve: Workers/QueueBulk/QueueMonitor must be ≥ 0")
+	}
+	if c.HedgeAfter < 0 || c.DefaultDeadline < 0 {
+		return fmt.Errorf("serve: HedgeAfter and DefaultDeadline must be ≥ 0")
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueBulk == 0 {
+		c.QueueBulk = 64
+	}
+	if c.QueueMonitor == 0 {
+		c.QueueMonitor = 16
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 20 * time.Millisecond
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = time.Second
+	}
+	return c
+}
+
+// Response is one served inference answer.
+type Response struct {
+	// Probs is the (N, outDim) softmax confidence batch, owned by the caller
+	// (copied out of the device before the device lock was released).
+	Probs *tensor.Tensor
+	// Device is the accelerator that produced the answer.
+	Device string
+	// Status is the device's confirmed health status at dispatch time.
+	Status monitor.Status
+	// Degraded flags an answer served from a Degraded-but-serving
+	// accelerator: still within the monitor's serving envelope, but the
+	// caller may want to weight its confidence accordingly.
+	Degraded bool
+	// Hedged: the answer came from the hedged second attempt (the primary
+	// was still silent when the hedge fired and the hedge won).
+	Hedged bool
+	// Retried: the primary attempt faulted and this answer came from the
+	// immediate retry on another device.
+	Retried bool
+}
+
+// Stats is a snapshot of the server's lifetime counters. For a drained
+// server, Admitted == Served + Deadlines + NoDevices + FaultFailures — the
+// zero-silent-drops invariant (rejections at admission are counted in
+// Overloads and were never admitted).
+type Stats struct {
+	Admitted       uint64
+	Served         uint64
+	ServedDegraded uint64
+	Overloads      uint64
+	Deadlines      uint64
+	NoDevices      uint64
+	FaultFailures  uint64
+
+	Hedges  uint64 // hedged second attempts launched (slow primary)
+	Retries uint64 // immediate second attempts launched (faulted primary)
+}
+
+// Terminal sums the terminal outcomes of admitted requests.
+func (st Stats) Terminal() uint64 {
+	return st.Served + st.Deadlines + st.NoDevices + st.FaultFailures
+}
+
+// outcome is what a worker delivers back to the blocked Do call.
+type outcome struct {
+	resp Response
+	err  error
+}
+
+// pending is one admitted request in flight through the server.
+type pending struct {
+	ctx  context.Context
+	x    *tensor.Tensor
+	enq  time.Time
+	done chan outcome // buffered 1; exactly one finish per request
+}
+
+func (p *pending) finish(resp Response, err error) {
+	p.done <- outcome{resp: resp, err: err}
+}
+
+// Server is the concurrent serving frontend. Its exported methods are safe
+// for concurrent use; it owns its fleet.Supervisor outright (all supervisor
+// state mutation is serialised behind an internal lock), so callers must not
+// drive the supervisor directly.
+type Server struct {
+	cfg      Config
+	sup      *fleet.Supervisor
+	stations map[string]*Station
+	inDim    int
+
+	// backendMu serialises supervisor state mutation: ticks and serving-fault
+	// reports. The router inside the supervisor has its own lock, so the hot
+	// dispatch path never touches backendMu.
+	backendMu sync.Mutex
+
+	qMon, qBulk chan *pending
+	admitMu     sync.RWMutex // guards closed + the enqueue-vs-close race
+	closed      bool
+
+	rootCtx context.Context
+	cancel  context.CancelFunc
+
+	workerWG  sync.WaitGroup
+	attemptWG sync.WaitGroup
+
+	admitted, served, servedDegraded atomic.Uint64
+	overloads, deadlines             atomic.Uint64
+	noDevices, faultFailures         atomic.Uint64
+	hedges, retries                  atomic.Uint64
+}
+
+// New commissions a fleet supervisor over devices (each wrapped in a
+// Station so monitoring and serving serialise per device) and starts the
+// worker pool. jw may be nil (no durability). The fleet config's MinServing
+// is validated against the fleet size at construction.
+func New(devices []fleet.Device, fcfg fleet.Config, scfg Config, jw *journal.Writer) (*Server, error) {
+	if err := scfg.Validate(); err != nil {
+		return nil, err
+	}
+	scfg = scfg.withDefaults()
+	if len(devices) == 0 {
+		return nil, errors.New("serve: no devices")
+	}
+	stations := make(map[string]*Station, len(devices))
+	wrapped := make([]fleet.Device, len(devices))
+	for i, d := range devices {
+		st := NewStation(d)
+		wrapped[i] = st
+		stations[st.ID()] = st
+	}
+	sup, err := fleet.New(wrapped, fcfg, jw)
+	if err != nil {
+		return nil, err
+	}
+	rootCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      scfg,
+		sup:      sup,
+		stations: stations,
+		inDim:    devices[0].Reference().InDim(),
+		qMon:     make(chan *pending, scfg.QueueMonitor),
+		qBulk:    make(chan *pending, scfg.QueueBulk),
+		rootCtx:  rootCtx,
+		cancel:   cancel,
+	}
+	for i := 0; i < scfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Do submits one (N, inDim) inference batch and blocks until it terminates:
+// a Response, or an error matching ErrOverloaded, ErrClosed, ErrDeadline,
+// ErrNoDevices or ErrFaulted. Safe for concurrent use.
+func (s *Server) Do(ctx context.Context, x *tensor.Tensor, prio Priority) (Response, error) {
+	if x == nil || x.Rank() != 2 || x.Dim(1) != s.inDim {
+		return Response{}, fmt.Errorf("serve: request batch must be (N, %d)", s.inDim)
+	}
+	dctx := ctx
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultDeadline)
+		defer cancel()
+	}
+	p := &pending{ctx: dctx, x: x, enq: time.Now(), done: make(chan outcome, 1)}
+	q := s.qBulk
+	if prio == Monitor {
+		q = s.qMon
+	}
+
+	// enqueue under the admission read-lock so Close can never close a
+	// channel with a send in flight
+	s.admitMu.RLock()
+	if s.closed {
+		s.admitMu.RUnlock()
+		return Response{}, fmt.Errorf("serve: rejected at admission: %w", ErrClosed)
+	}
+	select {
+	case q <- p:
+		s.admitMu.RUnlock()
+	default:
+		s.admitMu.RUnlock()
+		s.overloads.Add(1)
+		return Response{}, fmt.Errorf("serve: %v queue at capacity: %w", prio, ErrOverloaded)
+	}
+	s.admitted.Add(1)
+
+	var o outcome
+	select {
+	case o = <-p.done:
+	case <-dctx.Done():
+		// the worker (or its background attempt) no longer matters to this
+		// caller; it finishes into the buffered done channel and is dropped
+		o = outcome{err: fmt.Errorf("serve: %v: %w", dctx.Err(), ErrDeadline)}
+	}
+	s.countTerminal(o)
+	return o.resp, o.err
+}
+
+// countTerminal attributes exactly one terminal counter per admitted request.
+func (s *Server) countTerminal(o outcome) {
+	switch {
+	case o.err == nil:
+		s.served.Add(1)
+		if o.resp.Degraded {
+			s.servedDegraded.Add(1)
+		}
+	case errors.Is(o.err, ErrDeadline):
+		s.deadlines.Add(1)
+	case errors.Is(o.err, ErrNoDevices):
+		s.noDevices.Add(1)
+	default:
+		s.faultFailures.Add(1)
+	}
+}
+
+// worker pulls pendings (monitor queue first) and handles them until both
+// queues are closed and drained.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	qm, qb := s.qMon, s.qBulk
+	for {
+		// priority pass: drain monitor-class work first, non-blocking
+		if qm != nil {
+			select {
+			case p, ok := <-qm:
+				if !ok {
+					qm = nil
+					break
+				}
+				s.handle(p)
+				continue
+			default:
+			}
+		}
+		if qm == nil && qb == nil {
+			return
+		}
+		// blocking pass over whichever queues remain open (a nil channel
+		// never fires, which is how a closed-and-drained queue drops out)
+		select {
+		case p, ok := <-qm:
+			if !ok {
+				qm = nil
+				continue
+			}
+			s.handle(p)
+		case p, ok := <-qb:
+			if !ok {
+				qb = nil
+				continue
+			}
+			s.handle(p)
+		}
+	}
+}
+
+// attemptResult is one device attempt's outcome.
+type attemptResult struct {
+	probs  *tensor.Tensor
+	device string
+	status monitor.Status
+	hedge  bool
+	retry  bool
+	err    error
+}
+
+// handle runs one admitted request to termination.
+func (s *Server) handle(p *pending) {
+	if p.ctx.Err() != nil {
+		p.finish(Response{}, fmt.Errorf("serve: expired in queue after %v: %w",
+			time.Since(p.enq).Round(time.Microsecond), ErrDeadline))
+		return
+	}
+	first, st1, ok := s.sup.DispatchAvoiding("")
+	if !ok {
+		p.finish(Response{}, fmt.Errorf("serve: fleet is shedding load: %w", ErrNoDevices))
+		return
+	}
+	// resCh is buffered for every attempt that could ever write to it, so
+	// abandoned attempts never leak a goroutine
+	resCh := make(chan attemptResult, 2)
+	s.launchAttempt(first, st1, false, false, p.x, resCh)
+	hedgeTimer := time.NewTimer(s.cfg.HedgeAfter)
+	defer hedgeTimer.Stop()
+
+	outstanding, second := 1, false
+	var firstErr error
+	for {
+		select {
+		case r := <-resCh:
+			outstanding--
+			if r.err == nil {
+				p.finish(Response{
+					Probs:    r.probs,
+					Device:   r.device,
+					Status:   r.status,
+					Degraded: r.status == monitor.Degraded,
+					Hedged:   r.hedge,
+					Retried:  r.retry,
+				}, nil)
+				return
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			// faulted: one immediate second placement on a different device,
+			// unless a hedge already claimed the retry slot
+			if !second && p.ctx.Err() == nil {
+				if id2, st2, ok2 := s.sup.DispatchAvoiding(first); ok2 {
+					second = true
+					s.retries.Add(1)
+					s.launchAttempt(id2, st2, false, true, p.x, resCh)
+					outstanding++
+					continue
+				}
+			}
+			if outstanding == 0 {
+				p.finish(Response{}, fmt.Errorf("serve: %v: %w", firstErr, ErrFaulted))
+				return
+			}
+		case <-hedgeTimer.C:
+			if second {
+				continue
+			}
+			if id2, st2, ok2 := s.sup.DispatchAvoiding(first); ok2 {
+				second = true
+				s.hedges.Add(1)
+				s.launchAttempt(id2, st2, true, false, p.x, resCh)
+				outstanding++
+			}
+		case <-p.ctx.Done():
+			p.finish(Response{}, fmt.Errorf("serve: %v with %d attempt(s) outstanding: %w",
+				p.ctx.Err(), outstanding, ErrDeadline))
+			return
+		}
+	}
+}
+
+// launchAttempt runs one placement in its own goroutine. The attempt is not
+// cancelable mid-inference (a device readout cannot be interrupted); an
+// abandoned attempt completes into the buffered result channel, releases its
+// router slot and still reports a fault into the breaker if it produced one.
+func (s *Server) launchAttempt(id string, status monitor.Status, hedge, retry bool, x *tensor.Tensor, resCh chan attemptResult) {
+	s.attemptWG.Add(1)
+	go func() {
+		defer s.attemptWG.Done()
+		defer s.sup.Complete(id)
+		probs, err := s.runOn(id, x)
+		if err != nil {
+			s.reportFault(id)
+		}
+		resCh <- attemptResult{probs: probs, device: id, status: status, hedge: hedge, retry: retry, err: err}
+	}()
+}
+
+// runOn executes one guarded readout on device id and validates the answer.
+func (s *Server) runOn(id string, x *tensor.Tensor) (probs *tensor.Tensor, err error) {
+	st := s.stations[id]
+	if st == nil {
+		return nil, fmt.Errorf("serve: router chose unknown device %q", id)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			probs, err = nil, fmt.Errorf("serve: device %s panicked mid-request: %v", id, r)
+		}
+	}()
+	out := st.guardedInfer(x)
+	if out == nil {
+		return nil, fmt.Errorf("serve: device %s returned no output", id)
+	}
+	if out.Rank() != 2 || out.Dim(0) != x.Dim(0) {
+		return nil, fmt.Errorf("serve: device %s returned a malformed batch", id)
+	}
+	for _, v := range out.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("serve: device %s returned non-finite confidences", id)
+		}
+	}
+	return out, nil
+}
+
+// reportFault feeds one serving-path fault into the fleet's breaker.
+func (s *Server) reportFault(id string) {
+	s.backendMu.Lock()
+	defer s.backendMu.Unlock()
+	s.sup.ReportServingFault(id)
+}
+
+// Tick runs one supervised monitoring round across the fleet, serialised
+// against serving-fault reports. Closing the server cancels the tick's
+// context, so a drain never waits out a device's full backoff schedule.
+func (s *Server) Tick() ([]fleet.RoundResult, error) {
+	s.backendMu.Lock()
+	defer s.backendMu.Unlock()
+	return s.sup.TickCtx(s.rootCtx)
+}
+
+// Serving returns the device IDs currently eligible for traffic.
+func (s *Server) Serving() []string {
+	s.backendMu.Lock()
+	defer s.backendMu.Unlock()
+	return s.sup.Serving()
+}
+
+// Quarantined returns the device IDs currently withheld from traffic.
+func (s *Server) Quarantined() []string {
+	s.backendMu.Lock()
+	defer s.backendMu.Unlock()
+	return s.sup.Quarantined()
+}
+
+// Stats snapshots the lifetime counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Admitted:       s.admitted.Load(),
+		Served:         s.served.Load(),
+		ServedDegraded: s.servedDegraded.Load(),
+		Overloads:      s.overloads.Load(),
+		Deadlines:      s.deadlines.Load(),
+		NoDevices:      s.noDevices.Load(),
+		FaultFailures:  s.faultFailures.Load(),
+		Hedges:         s.hedges.Load(),
+		Retries:        s.retries.Load(),
+	}
+}
+
+// Close stops admission, drains every already-admitted request (each one
+// still receives its Response or typed error), waits for all background
+// attempts to land, and returns. Safe to call more than once.
+func (s *Server) Close() error {
+	s.admitMu.Lock()
+	already := s.closed
+	s.closed = true
+	s.admitMu.Unlock()
+	if !already {
+		s.cancel() // cuts any in-flight tick's backoff sleeps
+		close(s.qMon)
+		close(s.qBulk)
+	}
+	s.workerWG.Wait()
+	s.attemptWG.Wait()
+	return nil
+}

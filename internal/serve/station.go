@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"sync"
+
+	"reramtest/internal/fleet"
+	"reramtest/internal/health"
+	"reramtest/internal/monitor"
+	"reramtest/internal/nn"
+	"reramtest/internal/repair"
+	"reramtest/internal/tensor"
+	"reramtest/internal/testgen"
+)
+
+// Station wraps one fleet.Device for concurrent serving. The raw Device
+// contract is single-goroutine (engine workspaces, plant accelerator swaps),
+// but a serving frontend has two independent callers per device: the
+// supervisor's monitoring tick and whichever request worker the router sent
+// over. A Station serialises them on one per-device mutex and copies every
+// inference result out of the device before releasing it, so a readout can
+// never be trampled by the next caller reusing the same workspaces.
+//
+// Station itself implements fleet.Device, which is the trick that makes the
+// whole stack converge on one lock: the Server commissions its fleet
+// Supervisor over the Stations, so monitoring readouts, repair applications
+// and serving requests all contend on the same mutex and the underlying
+// device only ever sees one goroutine at a time — exactly the contract it
+// was written for.
+type Station struct {
+	mu  sync.Mutex
+	dev fleet.Device
+}
+
+// NewStation wraps dev. The raw device must not be driven directly while the
+// station is in circulation.
+func NewStation(dev fleet.Device) *Station { return &Station{dev: dev} }
+
+// ID names the underlying device.
+func (st *Station) ID() string { return st.dev.ID() }
+
+// Reference reports the device's current reference model.
+func (st *Station) Reference() *nn.Network { return st.dev.Reference() }
+
+// Patterns reports the device's concurrent-test stimulus set.
+func (st *Station) Patterns() *testgen.PatternSet { return st.dev.Patterns() }
+
+// Infer returns the guarded readout path: lock, run the device's own Infer,
+// clone the result out, unlock. A panic inside the device propagates to the
+// caller (the lock is still released) — the health runtime and the serving
+// attempt path both recover it and treat it as a fault.
+func (st *Station) Infer() monitor.Infer { return st.guardedInfer }
+
+func (st *Station) guardedInfer(x *tensor.Tensor) *tensor.Tensor {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := st.dev.Infer()(x)
+	if out == nil {
+		return nil
+	}
+	// copy out before unlocking: device Infer implementations (engine.Probs,
+	// plants) return views of reused internal buffers
+	return out.Clone()
+}
+
+// Repairer returns the device's repairer behind the station lock — a repair
+// (reprogramming a crossbar, swapping the accelerator model) must not
+// interleave with an inference on the same device.
+func (st *Station) Repairer() health.Repairer {
+	inner := st.dev.Repairer()
+	if inner == nil {
+		return nil
+	}
+	return lockedRepairer{st: st, inner: inner}
+}
+
+type lockedRepairer struct {
+	st    *Station
+	inner health.Repairer
+}
+
+func (lr lockedRepairer) Apply(a repair.Action) (*nn.Network, error) {
+	lr.st.mu.Lock()
+	defer lr.st.mu.Unlock()
+	return lr.inner.Apply(a)
+}
