@@ -3,11 +3,12 @@
 #   make check   vet + build + full test suite + race detector on the
 #                hardened-runtime packages + short campaign, fleet and
 #                serving-chaos soak smokes + a short fuzz pass over the
-#                journal decoder + the batched-inference performance gate
-#                (bench-smoke)
-#   make bench-smoke  gate the batched monitor readout against the committed
-#                baseline ratios (min speedup over the serial path, max
-#                allocs/op); fails on regression
+#                journal decoder + the batched inference and training
+#                performance gates (bench-smoke)
+#   make bench-smoke  gate the batched monitor readout and the engine
+#                training step against the committed baseline ratios (min
+#                speedup over the legacy paths, max allocs/op), after
+#                asserting bit-identity; fails on regression
 #   make race    race detector over the whole tree (slow: retrains models
 #                under the race runtime)
 #   make soak    the full 20-campaign acceptance soak with scorecard
@@ -20,7 +21,7 @@ GO ?= go
 RACE_PKGS = ./internal/health/... ./internal/campaign/... ./internal/monitor/... \
             ./internal/detect/... ./internal/stats/... ./internal/repair/... \
             ./internal/fleet/... ./internal/journal/... ./internal/engine/... \
-            ./internal/tensor/... ./internal/serve/...
+            ./internal/tensor/... ./internal/serve/... ./internal/tengine/...
 
 .PHONY: check vet build test race-fast race soak-smoke soak \
         fleet-soak-smoke fleet-soak serve-soak-smoke serve-soak \
@@ -76,8 +77,10 @@ serve-soak:
 fuzz-short:
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzDecodeAll -fuzztime=10s
 
-# performance gate on the batch-first inference engine: the batched monitor
-# readout must stay bit-identical to the serial path, beat it by the
-# committed ratio, and allocate nothing in steady state
+# performance gate on the batch-first inference AND training engines: the
+# batched monitor readout must stay bit-identical to the serial path, the
+# engine training step must land on bit-identical weights across the legacy,
+# serial-engine and pooled-engine arms, both must beat the legacy path by the
+# committed ratios, and both must allocate nothing in steady state
 bench-smoke:
 	$(GO) run ./cmd/benchsmoke

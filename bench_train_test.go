@@ -1,0 +1,201 @@
+package reramtest_test
+
+import (
+	"testing"
+
+	"reramtest/internal/dataset"
+	"reramtest/internal/faults"
+	"reramtest/internal/models"
+	"reramtest/internal/nn"
+	"reramtest/internal/opt"
+	"reramtest/internal/rng"
+	"reramtest/internal/tengine"
+	"reramtest/internal/tensor"
+)
+
+// trainFixture builds the training workload both arms share: a fresh MLP on
+// a synthetic digit set (no weight cache required — untrained weights cost
+// the same to differentiate as trained ones).
+func trainFixture() (*nn.Network, *dataset.Dataset) {
+	train := dataset.SynthDigits(31, dataset.DefaultDigitsConfig(128))
+	net := models.MLP(rng.New(13), train.SampleDim(), []int{64, 32}, train.Classes)
+	net.SetTraining(true)
+	return net, train
+}
+
+// BenchmarkTrainStepLegacy is the pre-engine training step: layer-wise batch
+// forward, cross-entropy with a fresh gradient tensor, ZeroGrad, layer-wise
+// backward, momentum SGD step.
+func BenchmarkTrainStepLegacy(b *testing.B) {
+	net, train := trainFixture()
+	sgd := opt.NewSGD(net.Params(), 0.05, 0.9, 1e-4)
+	x := tensor.FromSlice(train.X.Data()[:32*train.SampleDim()], 32, train.SampleDim())
+	y := train.Y[:32]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits := net.Forward(x)
+		_, grad := nn.CrossEntropy(logits, y)
+		net.ZeroGrad()
+		net.Backward(grad)
+		sgd.Step()
+	}
+}
+
+// BenchmarkTrainStepEngine is the same step through the compiled training
+// plan with the fused allocation-free optimizer update.
+func BenchmarkTrainStepEngine(b *testing.B) {
+	net, train := trainFixture()
+	sgd := opt.NewSGD(net.Params(), 0.05, 0.9, 1e-4)
+	eng := tengine.MustCompile(net, tengine.Options{Workers: 1, MaxBatch: 32})
+	x := tensor.FromSlice(train.X.Data()[:32*train.SampleDim()], 32, train.SampleDim())
+	y := train.Y[:32]
+	eng.ForwardBackward(x, y)
+	sgd.StepAndZero()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ForwardBackward(x, y)
+		sgd.StepAndZero()
+	}
+}
+
+// TestTrainStepAllocFree pins the steady-state zero-allocation contract of
+// the full training step (engine compute + fused optimizer).
+func TestTrainStepAllocFree(t *testing.T) {
+	net, train := trainFixture()
+	sgd := opt.NewSGD(net.Params(), 0.05, 0.9, 1e-4)
+	eng := tengine.MustCompile(net, tengine.Options{Workers: 1, MaxBatch: 32})
+	x := tensor.FromSlice(train.X.Data()[:32*train.SampleDim()], 32, train.SampleDim())
+	y := train.Y[:32]
+	eng.ForwardBackward(x, y)
+	sgd.StepAndZero()
+	if a := testing.AllocsPerRun(10, func() {
+		eng.ForwardBackward(x, y)
+		sgd.StepAndZero()
+	}); a != 0 {
+		t.Errorf("training step allocates %.1f objects/op, want 0", a)
+	}
+}
+
+// BenchmarkRetrainEpochLegacy reproduces the pre-engine RetrainAround inner
+// loop for one epoch: slice-of-batches allocation plus per-layer backprop.
+func BenchmarkRetrainEpochLegacy(b *testing.B) {
+	net, train := trainFixture()
+	sgd := opt.NewSGD(net.Params(), 0.01, 0.9, 0)
+	r := rng.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, batch := range train.Batches(32, r) {
+			logits := net.Forward(batch.X)
+			_, grad := nn.CrossEntropy(logits, batch.Y)
+			net.ZeroGrad()
+			net.Backward(grad)
+			sgd.Step()
+		}
+	}
+}
+
+// BenchmarkRetrainEpochEngine is the same epoch through the compiled plan and
+// the reusable batch iterator.
+func BenchmarkRetrainEpochEngine(b *testing.B) {
+	net, train := trainFixture()
+	sgd := opt.NewSGD(net.Params(), 0.01, 0.9, 0)
+	eng := tengine.MustCompile(net, tengine.Options{Workers: 1, MaxBatch: 32})
+	it := train.BatchIterator(32)
+	r := rng.New(3)
+	eng.ForwardBackward(tensor.FromSlice(train.X.Data()[:32*train.SampleDim()], 32, train.SampleDim()), train.Y[:32])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Reset(r)
+		for {
+			bx, by, ok := it.Next()
+			if !ok {
+				break
+			}
+			eng.ForwardBackward(bx, by)
+			sgd.StepAndZero()
+		}
+	}
+}
+
+// otpNets builds the clean/faulty pair for the O-TP synthesis benchmarks.
+func otpNets() (*nn.Network, *nn.Network) {
+	clean := models.MLP(rng.New(13), 64, []int{48}, 10)
+	faulty := faults.MakeFaulty(clean, faults.LogNormal{Sigma: 0.4}, 11)
+	return clean, faulty
+}
+
+// BenchmarkOTPSynthesisLegacy runs Algorithm 1's optimization loop (20
+// iterations, convergence thresholds disabled) through the pre-engine path.
+func BenchmarkOTPSynthesisLegacy(b *testing.B) {
+	clean, faulty := otpNets()
+	soft := nn.UniformLabels(10, 10)
+	labels := make([]int, 10)
+	for j := range labels {
+		labels[j] = j
+	}
+	hard := nn.OneHot(labels, 10)
+	x := tensor.RandUniform(rng.New(5), 0, 1, 10, 64)
+	const lr, alpha = 0.5, 0.5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for iter := 0; iter < 20; iter++ {
+			zClean := clean.Forward(x)
+			_, g1 := nn.SoftCrossEntropy(zClean, soft)
+			clean.ZeroGrad()
+			gx1 := clean.Backward(g1)
+			zFault := faulty.Forward(x)
+			_, g2 := nn.SoftCrossEntropy(zFault, hard)
+			faulty.ZeroGrad()
+			gx2 := faulty.Backward(g2)
+			xd, d1, d2 := x.Data(), gx1.Data(), gx2.Data()
+			for i := range xd {
+				xd[i] -= lr * (alpha*d1[i] + (1-alpha)*d2[i])
+				if xd[i] < 0 {
+					xd[i] = 0
+				} else if xd[i] > 1 {
+					xd[i] = 1
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkOTPSynthesisEngine runs the same 20-iteration loop through two
+// compiled plans with input-gradient taps — the path GenerateOTP now uses.
+func BenchmarkOTPSynthesisEngine(b *testing.B) {
+	clean, faulty := otpNets()
+	ce := tengine.MustCompile(clean, tengine.Options{Workers: 1, MaxBatch: 10, InputGrad: true, NoParamGrads: true})
+	fe := tengine.MustCompile(faulty, tengine.Options{Workers: 1, MaxBatch: 10, InputGrad: true, NoParamGrads: true})
+	soft := nn.UniformLabels(10, 10)
+	labels := make([]int, 10)
+	for j := range labels {
+		labels[j] = j
+	}
+	hard := nn.OneHot(labels, 10)
+	x := tensor.RandUniform(rng.New(5), 0, 1, 10, 64)
+	const lr, alpha = 0.5, 0.5
+	ce.ForwardBackwardSoft(x, soft)
+	fe.ForwardBackwardSoft(x, hard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for iter := 0; iter < 20; iter++ {
+			ce.ForwardBackwardSoft(x, soft)
+			fe.ForwardBackwardSoft(x, hard)
+			xd, d1, d2 := x.Data(), ce.InputGrad().Data(), fe.InputGrad().Data()
+			for i := range xd {
+				xd[i] -= lr * (alpha*d1[i] + (1-alpha)*d2[i])
+				if xd[i] < 0 {
+					xd[i] = 0
+				} else if xd[i] > 1 {
+					xd[i] = 1
+				}
+			}
+		}
+	}
+}

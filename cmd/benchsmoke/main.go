@@ -1,19 +1,24 @@
 // Command benchsmoke is the CI performance gate for the batch-first
-// inference engine. It rebuilds the default monitoring workload (the fleet
-// plant's MLP shape with its 16-pattern concurrent-test batch), verifies the
-// batched readout is bit-identical to the serial per-sample path, then
-// measures both and compares against the committed baseline
+// inference engine and the batch-first training engine. It rebuilds the
+// default monitoring workload (the fleet plant's MLP shape with its
+// 16-pattern concurrent-test batch), verifies the batched paths are
+// bit-identical to the legacy serial/per-layer paths, then measures both and
+// compares against the committed baseline
 // (cmd/benchsmoke/testdata/bench_baseline.json).
 //
 // The baseline is expressed as machine-independent ratios — minimum
 // batched-over-serial speedup and maximum steady-state allocations per
-// readout — so the gate is stable across host CPUs and core counts (the
+// operation — so the gate is stable across host CPUs and core counts (the
 // speedup on a single-core runner comes from allocation avoidance and
 // workspace reuse, not parallelism). Exit status 0 means the gate holds;
 // 1 means a regression (or a bit-identity violation, which fails first and
 // loudest).
 //
-//	go run ./cmd/benchsmoke [-baseline path]
+// With -json DIR the measured numbers are also written to DIR/BENCH_infer.json
+// and DIR/BENCH_train.json, the machine-readable perf-trajectory artifacts
+// documented in DESIGN.md §11.
+//
+//	go run ./cmd/benchsmoke [-baseline path] [-json dir]
 package main
 
 import (
@@ -21,12 +26,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"reramtest/internal/engine"
 	"reramtest/internal/models"
 	"reramtest/internal/nn"
+	"reramtest/internal/opt"
 	"reramtest/internal/rng"
+	"reramtest/internal/tengine"
 	"reramtest/internal/tensor"
 )
 
@@ -37,10 +45,45 @@ type Baseline struct {
 	MinSpeedup float64 `json:"min_speedup"`
 	// MaxAllocsPerOp caps steady-state heap allocations per batched readout.
 	MaxAllocsPerOp float64 `json:"max_allocs_per_op"`
+	// TrainMinSpeedup is the minimum legacy/engine wall-time ratio for one
+	// full training step (forward + backward + optimizer update).
+	TrainMinSpeedup float64 `json:"train_min_speedup"`
+	// TrainMaxAllocsPerOp caps steady-state heap allocations per engine
+	// training step (ForwardBackward + fused StepAndZero).
+	TrainMaxAllocsPerOp float64 `json:"train_max_allocs_per_op"`
+}
+
+// Report is one emitted perf-trajectory record (BENCH_infer.json /
+// BENCH_train.json).
+type Report struct {
+	Workload      string  `json:"workload"`
+	LegacyNsPerOp int64   `json:"legacy_ns_per_op"`
+	EngineNsPerOp int64   `json:"engine_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	MinSpeedup    float64 `json:"min_speedup"`
+	MaxAllocsOp   float64 `json:"max_allocs_per_op"`
+}
+
+func writeReport(dir, name string, r Report) {
+	if dir == "" {
+		return
+	}
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke: marshal report:", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke: write report:", err)
+		os.Exit(1)
+	}
 }
 
 func main() {
 	baselinePath := flag.String("baseline", "cmd/benchsmoke/testdata/bench_baseline.json", "baseline ratios to gate against")
+	jsonDir := flag.String("json", "", "directory to write BENCH_infer.json / BENCH_train.json perf-trajectory artifacts (empty = skip)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -54,6 +97,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	failed := false
+	if !inferGate(base, *jsonDir) {
+		failed = true
+	}
+	if !trainGate(base, *jsonDir) {
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchsmoke: PASS")
+}
+
+// inferGate measures the batched monitor readout against the per-sample
+// serial path.
+func inferGate(base Baseline, jsonDir string) bool {
 	// the default plant workload: untrained weights cost the same to run as
 	// trained ones, so the gate needs no weight cache
 	const patterns, in, classes = 16, 16, 6
@@ -77,7 +136,7 @@ func main() {
 	serial(want)
 	if !eng.Probs(x).Equal(want) {
 		fmt.Fprintln(os.Stderr, "benchsmoke: FAIL batched readout is not bit-identical to the serial path")
-		os.Exit(1)
+		return false
 	}
 
 	scratch := tensor.New(patterns, classes)
@@ -95,20 +154,137 @@ func main() {
 	allocs := testing.AllocsPerRun(50, func() { eng.Probs(x) })
 
 	speedup := float64(serialRes.NsPerOp()) / float64(batchedRes.NsPerOp())
-	fmt.Printf("benchsmoke: serial %d ns/op, batched %d ns/op, speedup %.2fx (min %.2fx), allocs/op %.0f (max %.0f)\n",
+	fmt.Printf("benchsmoke: infer serial %d ns/op, batched %d ns/op, speedup %.2fx (min %.2fx), allocs/op %.0f (max %.0f)\n",
 		serialRes.NsPerOp(), batchedRes.NsPerOp(), speedup, base.MinSpeedup, allocs, base.MaxAllocsPerOp)
+	writeReport(jsonDir, "BENCH_infer.json", Report{
+		Workload:      fmt.Sprintf("MLP 16-[24 16]-6, %d-pattern monitor readout", patterns),
+		LegacyNsPerOp: serialRes.NsPerOp(), EngineNsPerOp: batchedRes.NsPerOp(),
+		Speedup: speedup, AllocsPerOp: allocs,
+		MinSpeedup: base.MinSpeedup, MaxAllocsOp: base.MaxAllocsPerOp,
+	})
 
-	failed := false
+	ok := true
 	if speedup < base.MinSpeedup {
-		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL speedup %.2fx below baseline %.2fx\n", speedup, base.MinSpeedup)
-		failed = true
+		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL infer speedup %.2fx below baseline %.2fx\n", speedup, base.MinSpeedup)
+		ok = false
 	}
 	if allocs > base.MaxAllocsPerOp {
-		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL %.0f allocs/op above baseline %.0f\n", allocs, base.MaxAllocsPerOp)
-		failed = true
+		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL infer %.0f allocs/op above baseline %.0f\n", allocs, base.MaxAllocsPerOp)
+		ok = false
 	}
-	if failed {
-		os.Exit(1)
+	return ok
+}
+
+// trainGate measures one full training step (forward + backward + momentum
+// SGD update) through the training engine against the legacy per-layer loop,
+// after first demanding that a multi-step training run lands on bit-identical
+// weights on all three arms: legacy, serial engine, pooled engine.
+func trainGate(base Baseline, jsonDir string) bool {
+	const batch, in, classes, steps = 16, 16, 6, 25
+	buildNet := func() *nn.Network {
+		n := models.MLP(rng.New(7), in, []int{24, 16}, classes)
+		n.SetTraining(true)
+		return n
 	}
-	fmt.Println("benchsmoke: PASS")
+	x := tensor.RandUniform(rng.New(8), 0, 1, batch, in)
+	labels := make([]int, batch)
+	for j := range labels {
+		labels[j] = j % classes
+	}
+
+	legacyStep := func(net *nn.Network, sgd *opt.SGD) {
+		logits := net.Forward(x)
+		_, grad := nn.CrossEntropy(logits, labels)
+		net.ZeroGrad()
+		net.Backward(grad)
+		sgd.Step()
+	}
+
+	// hard gate first: K momentum-SGD steps must produce bit-identical final
+	// weights via the legacy loop, the serial engine and the pooled engine —
+	// the determinism contract of the fixed-order shard reduction. Only after
+	// equality holds is any ratio worth measuring.
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	legacyNet, serialNet, pooledNet := buildNet(), buildNet(), buildNet()
+	lOpt := opt.NewSGD(legacyNet.Params(), 0.05, 0.9, 1e-4)
+	sOpt := opt.NewSGD(serialNet.Params(), 0.05, 0.9, 1e-4)
+	pOpt := opt.NewSGD(pooledNet.Params(), 0.05, 0.9, 1e-4)
+	se := tengine.MustCompile(serialNet, tengine.Options{Workers: 1, MaxBatch: batch})
+	pe := tengine.MustCompile(pooledNet, tengine.Options{Pool: pool, MaxBatch: batch})
+	for i := 0; i < steps; i++ {
+		legacyStep(legacyNet, lOpt)
+		se.ForwardBackward(x, labels)
+		sOpt.StepAndZero()
+		pe.ForwardBackward(x, labels)
+		pOpt.StepAndZero()
+	}
+	lp, sp, pp := legacyNet.Params(), serialNet.Params(), pooledNet.Params()
+	for i := range lp {
+		if !sp[i].Value.Equal(lp[i].Value) || !pp[i].Value.Equal(lp[i].Value) {
+			fmt.Fprintf(os.Stderr, "benchsmoke: FAIL trained weights of %s are not bit-identical across legacy/serial/pooled arms\n", lp[i].Name)
+			return false
+		}
+	}
+
+	// timing arms use the repo's default training workload — the digits-sized
+	// MLP models.DefaultTrainConfig trains, batch 32 — so the committed ratio
+	// tracks the shape users actually pay for
+	const tBatch, tIn, tClasses = 32, 784, 10
+	buildTimingNet := func() *nn.Network {
+		n := models.MLP(rng.New(13), tIn, []int{64, 32}, tClasses)
+		n.SetTraining(true)
+		return n
+	}
+	tx := tensor.RandUniform(rng.New(9), 0, 1, tBatch, tIn)
+	tLabels := make([]int, tBatch)
+	for j := range tLabels {
+		tLabels[j] = j % tClasses
+	}
+	benchLegacy, benchEngineNet := buildTimingNet(), buildTimingNet()
+	blOpt := opt.NewSGD(benchLegacy.Params(), 0.05, 0.9, 1e-4)
+	beOpt := opt.NewSGD(benchEngineNet.Params(), 0.05, 0.9, 1e-4)
+	be := tengine.MustCompile(benchEngineNet, tengine.Options{Workers: 1, MaxBatch: tBatch})
+	legacyRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			logits := benchLegacy.Forward(tx)
+			_, grad := nn.CrossEntropy(logits, tLabels)
+			benchLegacy.ZeroGrad()
+			benchLegacy.Backward(grad)
+			blOpt.Step()
+		}
+	})
+	be.ForwardBackward(tx, tLabels) // warm the workspaces
+	beOpt.StepAndZero()
+	engineRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			be.ForwardBackward(tx, tLabels)
+			beOpt.StepAndZero()
+		}
+	})
+	allocs := testing.AllocsPerRun(50, func() {
+		be.ForwardBackward(tx, tLabels)
+		beOpt.StepAndZero()
+	})
+
+	speedup := float64(legacyRes.NsPerOp()) / float64(engineRes.NsPerOp())
+	fmt.Printf("benchsmoke: train legacy %d ns/op, engine %d ns/op, speedup %.2fx (min %.2fx), allocs/op %.0f (max %.0f)\n",
+		legacyRes.NsPerOp(), engineRes.NsPerOp(), speedup, base.TrainMinSpeedup, allocs, base.TrainMaxAllocsPerOp)
+	writeReport(jsonDir, "BENCH_train.json", Report{
+		Workload:      fmt.Sprintf("MLP 784-[64 32]-10, batch-%d momentum-SGD training step", tBatch),
+		LegacyNsPerOp: legacyRes.NsPerOp(), EngineNsPerOp: engineRes.NsPerOp(),
+		Speedup: speedup, AllocsPerOp: allocs,
+		MinSpeedup: base.TrainMinSpeedup, MaxAllocsOp: base.TrainMaxAllocsPerOp,
+	})
+
+	ok := true
+	if speedup < base.TrainMinSpeedup {
+		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL train speedup %.2fx below baseline %.2fx\n", speedup, base.TrainMinSpeedup)
+		ok = false
+	}
+	if allocs > base.TrainMaxAllocsPerOp {
+		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL train %.0f allocs/op above baseline %.0f\n", allocs, base.TrainMaxAllocsPerOp)
+		ok = false
+	}
+	return ok
 }

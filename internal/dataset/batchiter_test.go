@@ -1,0 +1,76 @@
+package dataset
+
+import (
+	"testing"
+
+	"reramtest/internal/rng"
+)
+
+// TestBatchIteratorMatchesBatches: over several epochs, the reusable iterator
+// must visit exactly the batches the legacy slice-of-batches API builds —
+// same shuffle stream, same sample order, same data bits, same tail batch.
+func TestBatchIteratorMatchesBatches(t *testing.T) {
+	d := SynthDigits(7, DefaultDigitsConfig(50)) // 50 % 16 != 0 exercises the tail
+	r1, r2 := rng.New(9), rng.New(9)
+	it := d.BatchIterator(16)
+	for epoch := 0; epoch < 3; epoch++ {
+		want := d.Batches(16, r1)
+		it.Reset(r2)
+		for i, wb := range want {
+			x, y, ok := it.Next()
+			if !ok {
+				t.Fatalf("epoch %d: iterator exhausted at batch %d, want %d batches", epoch, i, len(want))
+			}
+			if !x.Equal(wb.X) {
+				t.Fatalf("epoch %d batch %d: iterator data diverges from Batches", epoch, i)
+			}
+			if len(y) != len(wb.Y) {
+				t.Fatalf("epoch %d batch %d: %d labels, want %d", epoch, i, len(y), len(wb.Y))
+			}
+			for j := range y {
+				if y[j] != wb.Y[j] {
+					t.Fatalf("epoch %d batch %d: label[%d] = %d, want %d", epoch, i, j, y[j], wb.Y[j])
+				}
+			}
+		}
+		if _, _, ok := it.Next(); ok {
+			t.Fatalf("epoch %d: iterator produced more batches than Batches", epoch)
+		}
+	}
+}
+
+// TestBatchIteratorNilRNGKeepsOrder: Reset(nil) must visit dataset order, like
+// Batches(batchSize, nil).
+func TestBatchIteratorNilRNGKeepsOrder(t *testing.T) {
+	d := SynthDigits(8, DefaultDigitsConfig(20))
+	want := d.Batches(8, nil)
+	it := d.BatchIterator(8)
+	it.Reset(nil)
+	for i, wb := range want {
+		x, _, ok := it.Next()
+		if !ok || !x.Equal(wb.X) {
+			t.Fatalf("batch %d diverges from unshuffled Batches", i)
+		}
+	}
+}
+
+// TestBatchIteratorAllocFree: after construction, an entire epoch — reshuffle
+// included — performs zero heap allocations. This is the churn fix: the
+// legacy API allocated every batch tensor every epoch.
+func TestBatchIteratorAllocFree(t *testing.T) {
+	d := SynthDigits(9, DefaultDigitsConfig(64))
+	it := d.BatchIterator(16)
+	r := rng.New(3)
+	epoch := func() {
+		it.Reset(r)
+		for {
+			if _, _, ok := it.Next(); !ok {
+				return
+			}
+		}
+	}
+	epoch() // warm the cached tail view
+	if a := testing.AllocsPerRun(5, epoch); a != 0 {
+		t.Errorf("BatchIter epoch allocates %.1f objects, want 0", a)
+	}
+}

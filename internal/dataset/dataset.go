@@ -108,6 +108,89 @@ func (d *Dataset) Batches(batchSize int, r *rng.RNG) []Batch {
 	return out
 }
 
+// BatchIter is a reusable mini-batch iterator over a dataset. Unlike Batches
+// it owns one batch-sized workspace and fills it in place every Next call, so
+// an entire training run allocates a fixed amount of memory instead of
+// rebuilding every batch tensor every epoch. Reset re-shuffles with exactly
+// the RNG stream Batches consumes (identity order, then one Fisher–Yates
+// shuffle), so a loop over the iterator visits bit-identical batches in the
+// same order as the legacy slice-of-batches loop.
+//
+// The returned tensors and label slices are views into the iterator's
+// workspace, valid until the next Next or Reset; callers may mutate the batch
+// contents (they are copies of the dataset rows) but must not retain them.
+type BatchIter struct {
+	d         *Dataset
+	batchSize int
+	order     []int
+	pos       int
+	xBuf      []float64
+	yBuf      []int
+	x         *tensor.Tensor // cached (b, dim) view of xBuf
+	xN        int            // batch size the cached view was built for
+}
+
+// BatchIterator builds an iterator producing batches of batchSize samples
+// (the final batch of an epoch may be smaller). Call Reset before the first
+// Next.
+func (d *Dataset) BatchIterator(batchSize int) *BatchIter {
+	if batchSize <= 0 {
+		panic(fmt.Sprintf("dataset: batch size must be positive, got %d", batchSize))
+	}
+	if batchSize > d.N() {
+		batchSize = d.N()
+	}
+	return &BatchIter{
+		d:         d,
+		batchSize: batchSize,
+		order:     make([]int, d.N()),
+		pos:       d.N(), // exhausted until the first Reset
+		xBuf:      make([]float64, batchSize*d.SampleDim()),
+		yBuf:      make([]int, batchSize),
+	}
+}
+
+// Reset rewinds the iterator for a new epoch. If r is non-nil the sample
+// order is rebuilt and shuffled, consuming r identically to
+// Batches(batchSize, r); nil keeps dataset order.
+func (it *BatchIter) Reset(r *rng.RNG) {
+	for i := range it.order {
+		it.order[i] = i
+	}
+	if r != nil {
+		r.Shuffle(it.order)
+	}
+	it.pos = 0
+}
+
+// Next fills the workspace with the next batch and returns it as a (B, dim)
+// tensor view plus the matching labels. ok is false when the epoch is
+// exhausted. Full-size batches reuse a cached view and allocate nothing; the
+// view header is rebuilt only when the batch size changes (at most once per
+// epoch, for the tail).
+func (it *BatchIter) Next() (x *tensor.Tensor, y []int, ok bool) {
+	if it.pos >= len(it.order) {
+		return nil, nil, false
+	}
+	end := it.pos + it.batchSize
+	if end > len(it.order) {
+		end = len(it.order)
+	}
+	b := end - it.pos
+	dim := it.d.SampleDim()
+	xd := it.d.X.Data()
+	for j, i := range it.order[it.pos:end] {
+		copy(it.xBuf[j*dim:(j+1)*dim], xd[i*dim:(i+1)*dim])
+		it.yBuf[j] = it.d.Y[i]
+	}
+	it.pos = end
+	if it.x == nil || it.xN != b {
+		it.x = tensor.FromSlice(it.xBuf[:b*dim], b, dim)
+		it.xN = b
+	}
+	return it.x, it.yBuf[:b], true
+}
+
 // ClassCounts returns a histogram of labels.
 func (d *Dataset) ClassCounts() []int {
 	counts := make([]int, d.Classes)

@@ -11,6 +11,7 @@ import (
 	"reramtest/internal/nn"
 	"reramtest/internal/opt"
 	"reramtest/internal/rng"
+	"reramtest/internal/tengine"
 	"reramtest/internal/tensor"
 )
 
@@ -42,6 +43,12 @@ func DefaultTrainConfig() TrainConfig {
 // Train runs mini-batch SGD on net over train, reporting per-epoch loss and
 // (if test is non-nil) test accuracy. It returns the final test accuracy, or
 // final train accuracy when test is nil.
+//
+// The loop runs through a compiled tengine plan and the reusable batch
+// iterator, so the steady state allocates nothing; batches, losses, gradients
+// and final weights are bit-identical to the legacy per-layer
+// Forward/CrossEntropy/Backward/Step sequence (asserted by
+// TestTrainEngineMatchesLegacy).
 func Train(net *nn.Network, train, test *dataset.Dataset, cfg TrainConfig) float64 {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 32
@@ -53,24 +60,28 @@ func Train(net *nn.Network, train, test *dataset.Dataset, cfg TrainConfig) float
 	r := rng.New(cfg.Seed)
 	sgd := opt.NewSGD(net.Params(), cfg.LR, cfg.Momentum, cfg.Decay)
 	net.SetTraining(true)
+	eng := tengine.MustCompile(net, tengine.Options{MaxBatch: cfg.BatchSize})
+	it := train.BatchIterator(cfg.BatchSize)
+	smooth := newSmoothTargets(cfg.BatchSize, train.Classes, cfg.LabelSmooth)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if cfg.LRStep > 0 {
 			sgd.SetLR(opt.StepDecay(cfg.LR, 0.5, cfg.LRStep)(epoch))
 		}
 		start := time.Now()
 		totalLoss, nBatches := 0.0, 0
-		for _, b := range train.Batches(cfg.BatchSize, r) {
-			logits := net.Forward(b.X)
-			var loss float64
-			var grad *tensor.Tensor
-			if cfg.LabelSmooth > 0 {
-				loss, grad = nn.SoftCrossEntropy(logits, smoothLabels(b.Y, train.Classes, cfg.LabelSmooth))
-			} else {
-				loss, grad = nn.CrossEntropy(logits, b.Y)
+		it.Reset(r)
+		for {
+			bx, by, ok := it.Next()
+			if !ok {
+				break
 			}
-			net.ZeroGrad()
-			net.Backward(grad)
-			sgd.Step()
+			var loss float64
+			if cfg.LabelSmooth > 0 {
+				loss = eng.ForwardBackwardSoft(bx, smooth.fill(by))
+			} else {
+				loss = eng.ForwardBackward(bx, by)
+			}
+			sgd.StepAndZero()
 			totalLoss += loss
 			nBatches++
 		}
@@ -87,14 +98,37 @@ func Train(net *nn.Network, train, test *dataset.Dataset, cfg TrainConfig) float
 	return acc
 }
 
-// smoothLabels builds label-smoothed soft targets.
-func smoothLabels(labels []int, classes int, eps float64) *tensor.Tensor {
-	t := tensor.Full(eps/float64(classes-1), len(labels), classes)
-	td := t.Data()
-	for s, y := range labels {
-		td[s*classes+y] = 1 - eps
+// smoothTargets is a reusable label-smoothing target buffer: one workspace
+// sized to the full batch, refilled in place every fill call (the tail batch
+// rebuilds only the view header). Values match the legacy smoothLabels
+// construction exactly: ε/(n-1) everywhere, 1-ε on the true class.
+type smoothTargets struct {
+	classes int
+	eps     float64
+	buf     []float64
+	t       *tensor.Tensor
+	n       int
+}
+
+func newSmoothTargets(batchSize, classes int, eps float64) *smoothTargets {
+	return &smoothTargets{classes: classes, eps: eps, buf: make([]float64, batchSize*classes)}
+}
+
+func (st *smoothTargets) fill(labels []int) *tensor.Tensor {
+	off := st.eps / float64(st.classes-1)
+	b := len(labels)
+	data := st.buf[:b*st.classes]
+	for i := range data {
+		data[i] = off
 	}
-	return t
+	for s, y := range labels {
+		data[s*st.classes+y] = 1 - st.eps
+	}
+	if st.t == nil || st.n != b {
+		st.t = tensor.FromSlice(data, b, st.classes)
+		st.n = b
+	}
+	return st.t
 }
 
 // TrainOrLoad returns a trained network, loading cached weights from path if

@@ -17,6 +17,7 @@ type Dense struct {
 	bias   *Param // (Out)
 	lastIn *tensor.Tensor
 	gwTmp  *tensor.Tensor
+	wT     []float64 // (Out, In) transposed-weight cache for the train dx kernel
 }
 
 // NewDense builds a fully-connected layer with He-initialised weights.

@@ -8,6 +8,7 @@ import (
 	"reramtest/internal/nn"
 	"reramtest/internal/opt"
 	"reramtest/internal/rng"
+	"reramtest/internal/tengine"
 )
 
 // RetrainConfig controls fault-aware fine-tuning.
@@ -46,15 +47,23 @@ func RetrainAround(net *nn.Network, stuck StuckMask, train, eval *dataset.Datase
 	sgd := opt.NewSGD(net.Params(), cfg.LR, cfg.Momentum, 0)
 	restoreStuck := SnapshotStuck(net, stuck)
 	net.SetTraining(true)
+	// the fine-tuning loop runs through a compiled training plan: one
+	// ForwardBackward leaves the batch gradient in every Param.Grad (same
+	// bits as the legacy ZeroGrad+Backward), so the freeze→step→restore
+	// sandwich keeps its exact legacy ordering and semantics
+	eng := tengine.MustCompile(net, tengine.Options{MaxBatch: cfg.BatchSize})
+	it := train.BatchIterator(cfg.BatchSize)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		total, batches := 0.0, 0
-		for _, b := range train.Batches(cfg.BatchSize, r) {
-			logits := net.Forward(b.X)
-			loss, grad := nn.CrossEntropy(logits, b.Y)
-			net.ZeroGrad()
-			net.Backward(grad)
+		it.Reset(r)
+		for {
+			bx, by, ok := it.Next()
+			if !ok {
+				break
+			}
+			loss := eng.ForwardBackward(bx, by)
 			freezeStuckGradients(net, stuck)
-			sgd.Step()
+			sgd.StepAndZero()
 			restoreStuck() // momentum-proof: hold faulty cells exactly
 			total += loss
 			batches++

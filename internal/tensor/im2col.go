@@ -97,17 +97,28 @@ func Im2ColInto(dst, src []float64, g ConvGeom) {
 // matrix back into a (C, H, W) image, accumulating where windows overlap.
 // dst is zeroed first.
 func Col2Im(dst, src *Tensor, g ConvGeom) {
+	Col2ImInto(dst.data, src.data, g)
+}
+
+// Col2ImInto is Col2Im over bare row-major slices, for workspace-reusing
+// callers that scatter per-sample input gradients into rows of a larger batch
+// buffer without building tensor headers. It is the single col2im kernel in
+// the package — Col2Im delegates here — so batched and per-sample backward
+// convolutions accumulate overlapping windows in exactly the same order.
+func Col2ImInto(dst, src []float64, g ConvGeom) {
 	outH, outW := g.OutH(), g.OutW()
 	cols := outH * outW
 	rows := g.InC * g.KH * g.KW
-	if src.Len() != rows*cols {
-		panic(fmt.Sprintf("tensor: Col2Im src volume %d != %d", src.Len(), rows*cols))
+	if len(src) != rows*cols {
+		panic(fmt.Sprintf("tensor: Col2Im src volume %d != %d", len(src), rows*cols))
 	}
-	if dst.Len() != g.InC*g.InH*g.InW {
-		panic(fmt.Sprintf("tensor: Col2Im dst volume %d != %d", dst.Len(), g.InC*g.InH*g.InW))
+	if len(dst) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2Im dst volume %d != %d", len(dst), g.InC*g.InH*g.InW))
 	}
-	dst.Zero()
-	sd, dd := src.data, dst.data
+	for i := range dst {
+		dst[i] = 0
+	}
+	sd, dd := src, dst
 	row := 0
 	for c := 0; c < g.InC; c++ {
 		chanBase := c * g.InH * g.InW

@@ -45,7 +45,79 @@ func MatMulRowsInto(dst, a, b *Tensor, lo, hi int) {
 	if lo < 0 || hi > m || lo > hi {
 		panic(fmt.Sprintf("tensor: MatMulRowsInto row range [%d, %d) out of [0, %d)", lo, hi, m))
 	}
-	MatMulSlices(dst.data[lo*n:hi*n], a.data[lo*k:hi*k], b.data, hi-lo, k, n)
+	MatMulTiledSlices(dst.data[lo*n:hi*n], a.data[lo*k:hi*k], b.data, hi-lo, k, n)
+}
+
+// MatMulTiledSlices computes exactly what MatMulSlices computes — same
+// per-element summation order, same zero-skip, bit-identical result — but
+// visits b in row blocks sized to stay cache-resident while the block is
+// applied to every sample, so a large b is streamed from memory once per call
+// instead of once per sample. The engines route their batched matmuls here;
+// the legacy per-layer path keeps the untiled kernel, which is what the
+// golden-equivalence suites compare against.
+func MatMulTiledSlices(dst, a, b []float64, m, k, n int) {
+	blk := 2048 / n // ~16KB of b rows live across the inner sample sweep
+	if m <= 1 || blk >= k {
+		MatMulSlices(dst, a, b, m, k, n)
+		return
+	}
+	if blk < 16 {
+		blk = 16
+	}
+	if len(a) != m*k || len(b) != k*n || len(dst) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulTiledSlices length mismatch dst=%d a=%d b=%d for (%d×%d)·(%d×%d)",
+			len(dst), len(a), len(b), m, k, k, n))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for p0 := 0; p0 < k; p0 += blk {
+		p1 := p0 + blk
+		if p1 > k {
+			p1 = k
+		}
+		// two samples per sweep: each loaded b row feeds two independent
+		// accumulator rows, doubling the work per load without touching any
+		// element's addition order
+		i := 0
+		for ; i+1 < m; i += 2 {
+			d0 := dst[i*n : (i+1)*n]
+			d1 := dst[(i+1)*n : (i+2)*n]
+			a0 := a[i*k+p0 : i*k+p1]
+			a1 := a[(i+1)*k+p0 : (i+1)*k+p1]
+			for pi, av0 := range a0 {
+				av1 := a1[pi]
+				brow := b[(p0+pi)*n : (p0+pi+1)*n]
+				if av0 != 0 && av1 != 0 {
+					for j, bv := range brow {
+						d0[j] += av0 * bv
+						d1[j] += av1 * bv
+					}
+				} else if av0 != 0 {
+					for j, bv := range brow {
+						d0[j] += av0 * bv
+					}
+				} else if av1 != 0 {
+					for j, bv := range brow {
+						d1[j] += av1 * bv
+					}
+				}
+			}
+		}
+		if i < m {
+			drow := dst[i*n : (i+1)*n]
+			arow := a[i*k+p0 : i*k+p1]
+			for pi, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[(p0+pi)*n : (p0+pi+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	}
 }
 
 // MatMulSlices is the raw matmul kernel over bare slices: dst = a·b where a
@@ -86,17 +158,59 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	if k != k2 || dm != m || dn != n {
 		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch dst%v = %v x %vᵀ", dst.shape, a.shape, b.shape))
 	}
-	ad, bd, dd := a.data, b.data, dst.data
+	MatMulTransBSlices(dst.data, a.data, b.data, m, k, n)
+}
+
+// MatMulTransBSlices is the raw dst = a·bᵀ kernel over bare slices: a is m×k,
+// b is n×k and dst is m×n, all row-major. Each dst element is accumulated in
+// a register over p in increasing order, so the result is independent of how
+// callers partition the output — the train engine's per-sample backward
+// kernels (conv dW, dense dx) multiply into shard rows of preallocated
+// workspaces through this single kernel, which is what keeps the batched
+// gradient bit-identical to the per-layer training path.
+func MatMulTransBSlices(dst, a, b []float64, m, k, n int) {
+	if len(a) != m*k || len(b) != n*k || len(dst) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulTransBSlices length mismatch dst=%d a=%d b=%d for (%d×%d)·(%d×%d)ᵀ",
+			len(dst), len(a), len(b), m, k, n, k))
+	}
 	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		drow := dd[i*n : (i+1)*n]
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			brow := bd[j*k : (j+1)*k]
+			brow := b[j*k : (j+1)*k]
 			s := 0.0
 			for p, av := range arow {
 				s += av * brow[p]
 			}
 			drow[j] = s
+		}
+	}
+}
+
+// MatMulNoSkipSlices computes dst = a·b (a m×k, b k×n, dst m×n, row-major)
+// with every element's terms summed over p ascending and NO zero-skip — the
+// exact per-element addition chain of a MatMulTransBSlices call against bᵀ,
+// which folds each term into a register dot product. Accumulating in the dst
+// row instead pipelines across the n independent elements rather than
+// serializing on floating-point add latency, so callers that can afford a
+// transposed operand (the train engine's dL/dx kernels) get the same bits
+// several times faster.
+func MatMulNoSkipSlices(dst, a, b []float64, m, k, n int) {
+	if len(a) != m*k || len(b) != k*n || len(dst) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulNoSkipSlices length mismatch dst=%d a=%d b=%d for (%d×%d)·(%d×%d)",
+			len(dst), len(a), len(b), m, k, k, n))
+	}
+	for i := 0; i < m; i++ {
+		drow := dst[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		arow := a[i*k : (i+1)*k]
+		for p, av := range arow {
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
 		}
 	}
 }
@@ -109,18 +223,30 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 	if k != k2 || dm != m || dn != n {
 		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch dst%v = %vᵀ x %v", dst.shape, a.shape, b.shape))
 	}
-	ad, bd, dd := a.data, b.data, dst.data
-	for i := range dd {
-		dd[i] = 0
+	MatMulTransASlices(dst.data, a.data, b.data, k, m, n)
+}
+
+// MatMulTransASlices is the raw dst = aᵀ·b kernel over bare slices: a is k×m,
+// b is k×n and dst is m×n, all row-major. dst is zeroed first and accumulated
+// over p in increasing order with the same zero-skip as MatMulTransAInto
+// (which delegates here), so per-sample calls (k = 1) compose into exactly
+// the batch-level accumulation when folded in sample order.
+func MatMulTransASlices(dst, a, b []float64, k, m, n int) {
+	if len(a) != k*m || len(b) != k*n || len(dst) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulTransASlices length mismatch dst=%d a=%d b=%d for (%d×%d)ᵀ·(%d×%d)",
+			len(dst), len(a), len(b), k, m, k, n))
+	}
+	for i := range dst {
+		dst[i] = 0
 	}
 	for p := 0; p < k; p++ {
-		arow := ad[p*m : (p+1)*m]
-		brow := bd[p*n : (p+1)*n]
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
 		for i, av := range arow {
 			if av == 0 {
 				continue
 			}
-			drow := dd[i*n : (i+1)*n]
+			drow := dst[i*n : (i+1)*n]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}

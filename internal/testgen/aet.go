@@ -6,6 +6,7 @@ import (
 	"reramtest/internal/dataset"
 	"reramtest/internal/nn"
 	"reramtest/internal/rng"
+	"reramtest/internal/tengine"
 	"reramtest/internal/tensor"
 )
 
@@ -62,11 +63,15 @@ func GenerateAET(net *nn.Network, pool *dataset.Dataset, m int, cfg AETConfig, r
 }
 
 // InputGradient returns ∇ₓ of the cross-entropy loss of net's logits against
-// labels, for a whole (M, D) batch. The network's weight gradients are
-// clobbered; callers training concurrently must re-zero them.
+// labels, for a whole (M, D) batch. The network's weight gradients are left
+// untouched (the plan is compiled without parameter folds). The batch runs
+// through a compiled train plan with an input-gradient tap, bit-identical to
+// the legacy per-layer Forward/CrossEntropy/ZeroGrad/Backward sequence; the
+// returned tensor is a view into the plan's workspace, valid until the plan
+// is garbage-collected (it is copied by nothing here, so callers that need
+// the values past their next use should Clone).
 func InputGradient(net *nn.Network, x *tensor.Tensor, labels []int) *tensor.Tensor {
-	logits := net.Forward(x)
-	_, grad := nn.CrossEntropy(logits, labels)
-	net.ZeroGrad()
-	return net.Backward(grad)
+	eng := tengine.MustCompile(net, tengine.Options{MaxBatch: x.Dim(0), InputGrad: true, NoParamGrads: true})
+	eng.ForwardBackward(x, labels)
+	return eng.InputGrad()
 }

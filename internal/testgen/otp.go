@@ -6,6 +6,7 @@ import (
 
 	"reramtest/internal/nn"
 	"reramtest/internal/rng"
+	"reramtest/internal/tengine"
 	"reramtest/internal/tensor"
 )
 
@@ -79,22 +80,23 @@ func GenerateOTP(clean, faulty *nn.Network, classes int, cfg OTPConfig, r *rng.R
 	soft := nn.UniformLabels(m, classes) // l: equal confidence for all classes
 	hard := nn.OneHot(labels, classes)   // l': one hard label per pattern
 
+	// the optimization loop runs up to 600 full forward+backward iterations;
+	// compiled train plans with an input-gradient tap keep every one of them
+	// allocation-free and bit-identical to the legacy per-layer path
+	ce := tengine.MustCompile(clean, tengine.Options{MaxBatch: m, InputGrad: true, NoParamGrads: true})
+	fe := tengine.MustCompile(faulty, tengine.Options{MaxBatch: m, InputGrad: true, NoParamGrads: true})
+	pClean := tensor.New(m, classes) // reused softmax buffers for convergence
+	pFault := tensor.New(m, classes)
+
 	res := OTPResult{CleanStd: make([]float64, m), FaultL1: make([]float64, m)}
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
 		// term 1: clean model vs uniform soft labels
-		zClean := clean.Forward(x)
-		loss1, g1 := nn.SoftCrossEntropy(zClean, soft)
-		clean.ZeroGrad()
-		gx1 := clean.Backward(g1)
-
+		loss1 := ce.ForwardBackwardSoft(x, soft)
 		// term 2: fault model vs hard labels
-		zFault := faulty.Forward(x)
-		loss2, g2 := nn.SoftCrossEntropy(zFault, hard)
-		faulty.ZeroGrad()
-		gx2 := faulty.Backward(g2)
+		loss2 := fe.ForwardBackwardSoft(x, hard)
 
 		// combined Eq. 1 gradient step, projected back into the pixel box
-		xd, d1, d2 := x.Data(), gx1.Data(), gx2.Data()
+		xd, d1, d2 := x.Data(), ce.InputGrad().Data(), fe.InputGrad().Data()
 		for i := range xd {
 			xd[i] -= cfg.LR * (cfg.Alpha*d1[i] + (1-cfg.Alpha)*d2[i])
 			if xd[i] < 0 {
@@ -108,7 +110,11 @@ func GenerateOTP(clean, faulty *nn.Network, classes int, cfg OTPConfig, r *rng.R
 
 		// line 16: convergence when the clean outputs are flat and the fault
 		// outputs match the hard target
-		if converged(zClean, zFault, hard, classes, cfg, &res) {
+		pClean.CopyFrom(ce.Logits())
+		nn.SoftmaxInPlace(pClean)
+		pFault.CopyFrom(fe.Logits())
+		nn.SoftmaxInPlace(pFault)
+		if converged(pClean, pFault, hard, classes, cfg, &res) {
 			res.Converged = true
 			break
 		}
@@ -118,16 +124,26 @@ func GenerateOTP(clean, faulty *nn.Network, classes int, cfg OTPConfig, r *rng.R
 }
 
 // converged evaluates the two ε constraints on softmax confidences and
-// records the per-pattern statistics in res.
-func converged(zClean, zFault, hard *tensor.Tensor, classes int, cfg OTPConfig, res *OTPResult) bool {
-	pClean := nn.Softmax(zClean)
-	pFault := nn.Softmax(zFault)
+// records the per-pattern statistics in res. The per-row standard deviation
+// is computed inline with tensor.Std's exact loop (mean, then population
+// variance) so the check stays allocation-free without moving a bit.
+func converged(pClean, pFault, hard *tensor.Tensor, classes int, cfg OTPConfig, res *OTPResult) bool {
 	m := pClean.Dim(0)
 	cd, fd, hd := pClean.Data(), pFault.Data(), hard.Data()
 	ok := true
 	for j := 0; j < m; j++ {
-		row := tensor.FromSlice(cd[j*classes:(j+1)*classes], classes)
-		res.CleanStd[j] = row.Std()
+		row := cd[j*classes : (j+1)*classes]
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		mean := sum / float64(classes)
+		sq := 0.0
+		for _, v := range row {
+			d := v - mean
+			sq += d * d
+		}
+		res.CleanStd[j] = math.Sqrt(sq / float64(classes))
 		l1 := 0.0
 		for c := 0; c < classes; c++ {
 			l1 += math.Abs(fd[j*classes+c] - hd[j*classes+c])
