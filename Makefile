@@ -1,8 +1,9 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 #
 #   make check   vet + build + full test suite + race detector on the
-#                hardened-runtime packages + short campaign, fleet and
-#                serving-chaos soak smokes + a short fuzz pass over the
+#                hardened-runtime packages + short campaign, fleet,
+#                serving-chaos and repair-ladder lifetime soak smokes + a
+#                short fuzz pass over the
 #                journal decoder + the batched inference and training
 #                performance gates (bench-smoke)
 #   make bench-smoke  gate the batched monitor readout and the engine
@@ -13,6 +14,7 @@
 #                under the race runtime)
 #   make soak    the full 20-campaign acceptance soak with scorecard
 #   make fleet-soak  the full fleet crash/restart acceptance soak
+#   make lifetime-soak  the full 9-seed repair-ladder lifetime soak
 
 GO ?= go
 
@@ -25,9 +27,9 @@ RACE_PKGS = ./internal/health/... ./internal/campaign/... ./internal/monitor/...
 
 .PHONY: check vet build test race-fast race soak-smoke soak \
         fleet-soak-smoke fleet-soak serve-soak-smoke serve-soak \
-        fuzz-short bench-smoke
+        lifetime-soak-smoke lifetime-soak fuzz-short bench-smoke
 
-check: vet build test race-fast soak-smoke fleet-soak-smoke serve-soak-smoke fuzz-short bench-smoke
+check: vet build test race-fast soak-smoke fleet-soak-smoke serve-soak-smoke lifetime-soak-smoke fuzz-short bench-smoke
 	@echo "check: PASS"
 
 vet:
@@ -61,6 +63,18 @@ fleet-soak-smoke:
 
 fleet-soak:
 	$(GO) run ./cmd/monitor -fleet-soak -campaigns 10
+
+# repair-ladder lifetime soak: each seed runs three arms — the scrub →
+# remap → retrain escalation ladder, a retrain-only control in the same
+# cost units, and the ladder crash-replayed from its journal — gated on
+# the ladder beating the control on budget spend and retirements at an
+# equal-or-better fidelity floor, zero untyped strategy errors, and exact
+# crash/restart parity on journaled strategy decisions
+lifetime-soak-smoke:
+	$(GO) run ./cmd/monitor -lifetime-soak -seed 5 -campaigns 3
+
+lifetime-soak:
+	$(GO) run ./cmd/monitor -lifetime-soak -seed 3 -campaigns 9
 
 # serving-frontend chaos soak: concurrent traffic with injected slow
 # readouts, mid-request crashes and deadline storms; gated on zero hung

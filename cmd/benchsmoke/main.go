@@ -1,9 +1,10 @@
 // Command benchsmoke is the CI performance gate for the batch-first
-// inference engine and the batch-first training engine. It rebuilds the
-// default monitoring workload (the fleet plant's MLP shape with its
-// 16-pattern concurrent-test batch), verifies the batched paths are
-// bit-identical to the legacy serial/per-layer paths, then measures both and
-// compares against the committed baseline
+// inference engine, the batch-first training engine and the drop-connect
+// hardening step. It rebuilds the default monitoring workload (the fleet
+// plant's MLP shape with its 16-pattern concurrent-test batch), verifies the
+// batched paths are bit-identical to the legacy serial/per-layer paths (and
+// hardening bit-identical between serial and pooled engines), then measures
+// everything and compares against the committed baseline
 // (cmd/benchsmoke/testdata/bench_baseline.json).
 //
 // The baseline is expressed as machine-independent ratios — minimum
@@ -14,9 +15,9 @@
 // 1 means a regression (or a bit-identity violation, which fails first and
 // loudest).
 //
-// With -json DIR the measured numbers are also written to DIR/BENCH_infer.json
-// and DIR/BENCH_train.json, the machine-readable perf-trajectory artifacts
-// documented in DESIGN.md §11.
+// With -json DIR the measured numbers are also written to
+// DIR/BENCH_infer.json, DIR/BENCH_train.json and DIR/BENCH_harden.json, the
+// machine-readable perf-trajectory artifacts documented in DESIGN.md §11.
 //
 //	go run ./cmd/benchsmoke [-baseline path] [-json dir]
 package main
@@ -51,6 +52,14 @@ type Baseline struct {
 	// TrainMaxAllocsPerOp caps steady-state heap allocations per engine
 	// training step (ForwardBackward + fused StepAndZero).
 	TrainMaxAllocsPerOp float64 `json:"train_max_allocs_per_op"`
+	// HardenMinSpeedup is the minimum plain-step-over-masked-step wall-time
+	// ratio for drop-connect hardening: the mask prepass and restore are O(n)
+	// passes over the weights, so a masked step must stay within a bounded
+	// factor of the unmasked one (0.25 means masking may cost at most 4×).
+	HardenMinSpeedup float64 `json:"harden_min_speedup"`
+	// HardenMaxAllocsPerOp caps steady-state heap allocations per masked
+	// drop-connect training step (DropConnect.Step + fused StepAndZero).
+	HardenMaxAllocsPerOp float64 `json:"harden_max_allocs_per_op"`
 }
 
 // Report is one emitted perf-trajectory record (BENCH_infer.json /
@@ -102,6 +111,9 @@ func main() {
 		failed = true
 	}
 	if !trainGate(base, *jsonDir) {
+		failed = true
+	}
+	if !hardenGate(base, *jsonDir) {
 		failed = true
 	}
 	if failed {
@@ -284,6 +296,105 @@ func trainGate(base Baseline, jsonDir string) bool {
 	}
 	if allocs > base.TrainMaxAllocsPerOp {
 		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL train %.0f allocs/op above baseline %.0f\n", allocs, base.TrainMaxAllocsPerOp)
+		ok = false
+	}
+	return ok
+}
+
+// hardenGate measures the drop-connect hardening step — the repair ladder's
+// commissioning-time rung — against the unmasked training step, after first
+// demanding that hardening is bit-identical between a serial and a pooled
+// engine (masks are drawn serially outside the kernels, so worker count must
+// not move a single weight bit) and that the masked step allocates nothing
+// in steady state.
+func hardenGate(base Baseline, jsonDir string) bool {
+	const batch, in, classes, steps = 16, 16, 6, 25
+	x := tensor.RandUniform(rng.New(8), 0, 1, batch, in)
+	labels := make([]int, batch)
+	for j := range labels {
+		labels[j] = j % classes
+	}
+
+	// hard gate first: K hardened momentum-SGD steps must land on
+	// bit-identical weights on the serial and pooled arms
+	pool := tensor.NewPool(4)
+	defer pool.Close()
+	runDC := func(opts tengine.Options) *nn.Network {
+		net := models.MLP(rng.New(7), in, []int{24, 16}, classes)
+		net.SetTraining(true)
+		sgd := opt.NewSGD(net.Params(), 0.05, 0.9, 0)
+		dc := tengine.NewDropConnect(tengine.MustCompile(net, opts), 0.1, rng.New(17))
+		for i := 0; i < steps; i++ {
+			dc.Step(x, labels)
+			sgd.StepAndZero()
+		}
+		return net
+	}
+	serialNet := runDC(tengine.Options{Workers: 1, MaxBatch: batch})
+	pooledNet := runDC(tengine.Options{Pool: pool, MaxBatch: batch})
+	sp, pp := serialNet.Params(), pooledNet.Params()
+	for i := range sp {
+		if !pp[i].Value.Equal(sp[i].Value) {
+			fmt.Fprintf(os.Stderr, "benchsmoke: FAIL hardened weights of %s are not bit-identical across serial/pooled arms\n", sp[i].Name)
+			return false
+		}
+	}
+
+	// timing arms on the default training workload, masked vs unmasked step
+	const tBatch, tIn, tClasses = 32, 784, 10
+	buildTimingNet := func() *nn.Network {
+		n := models.MLP(rng.New(13), tIn, []int{64, 32}, tClasses)
+		n.SetTraining(true)
+		return n
+	}
+	tx := tensor.RandUniform(rng.New(9), 0, 1, tBatch, tIn)
+	tLabels := make([]int, tBatch)
+	for j := range tLabels {
+		tLabels[j] = j % tClasses
+	}
+	plainNet, maskedNet := buildTimingNet(), buildTimingNet()
+	plOpt := opt.NewSGD(plainNet.Params(), 0.05, 0.9, 1e-4)
+	mkOpt := opt.NewSGD(maskedNet.Params(), 0.05, 0.9, 1e-4)
+	plainEng := tengine.MustCompile(plainNet, tengine.Options{Workers: 1, MaxBatch: tBatch})
+	dc := tengine.NewDropConnect(tengine.MustCompile(maskedNet, tengine.Options{Workers: 1, MaxBatch: tBatch}), 0.1, rng.New(19))
+	plainEng.ForwardBackward(tx, tLabels) // warm the workspaces
+	plOpt.StepAndZero()
+	plainRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plainEng.ForwardBackward(tx, tLabels)
+			plOpt.StepAndZero()
+		}
+	})
+	dc.Step(tx, tLabels)
+	mkOpt.StepAndZero()
+	maskedRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dc.Step(tx, tLabels)
+			mkOpt.StepAndZero()
+		}
+	})
+	allocs := testing.AllocsPerRun(50, func() {
+		dc.Step(tx, tLabels)
+		mkOpt.StepAndZero()
+	})
+
+	speedup := float64(plainRes.NsPerOp()) / float64(maskedRes.NsPerOp())
+	fmt.Printf("benchsmoke: harden plain %d ns/op, masked %d ns/op, ratio %.2fx (min %.2fx), allocs/op %.0f (max %.0f)\n",
+		plainRes.NsPerOp(), maskedRes.NsPerOp(), speedup, base.HardenMinSpeedup, allocs, base.HardenMaxAllocsPerOp)
+	writeReport(jsonDir, "BENCH_harden.json", Report{
+		Workload:      fmt.Sprintf("MLP 784-[64 32]-10, batch-%d drop-connect hardening step at p=0.1", tBatch),
+		LegacyNsPerOp: plainRes.NsPerOp(), EngineNsPerOp: maskedRes.NsPerOp(),
+		Speedup: speedup, AllocsPerOp: allocs,
+		MinSpeedup: base.HardenMinSpeedup, MaxAllocsOp: base.HardenMaxAllocsPerOp,
+	})
+
+	ok := true
+	if speedup < base.HardenMinSpeedup {
+		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL harden masked-step ratio %.2fx below baseline %.2fx\n", speedup, base.HardenMinSpeedup)
+		ok = false
+	}
+	if allocs > base.HardenMaxAllocsPerOp {
+		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL harden %.0f allocs/op above baseline %.0f\n", allocs, base.HardenMaxAllocsPerOp)
 		ok = false
 	}
 	return ok

@@ -22,6 +22,13 @@
 // and replays the supervisor mid-campaign (corrupting the journal tail),
 // and gates on resume fidelity against an uninterrupted same-seed run.
 //
+// With -lifetime-soak it runs the three-arm repair-ladder lifetime soak:
+// the same seeded fleet campaign with the pluggable escalation ladder
+// (scrub → remap → retrain), with the retrain-only control, and
+// crash-replayed from the journal — gated on the ladder beating the control
+// economically at an equal-or-better fidelity floor with exact decision
+// parity across crashes.
+//
 // With -serve-soak it runs the serving-frontend chaos soak: concurrent
 // client traffic with injected slow readouts, mid-request device crashes and
 // deadline storms, gated on zero hung requests, zero silent drops, a bounded
@@ -38,6 +45,7 @@ import (
 	"reramtest/internal/experiments"
 	"reramtest/internal/monitor"
 	"reramtest/internal/nn"
+	"reramtest/internal/repair"
 	"reramtest/internal/reram"
 	"reramtest/internal/tensor"
 )
@@ -48,6 +56,7 @@ func main() {
 	analog := flag.Bool("analog", false, "run checks through the full DAC/ADC analog path (slower)")
 	soak := flag.Bool("soak", false, "run the randomized fault-injection soak campaigns instead of the demo")
 	fleetSoak := flag.Bool("fleet-soak", false, "run the fleet supervisor crash/restart soak instead of the demo")
+	lifetimeSoak := flag.Bool("lifetime-soak", false, "run the three-arm repair-ladder lifetime soak instead of the demo")
 	serveSoak := flag.Bool("serve-soak", false, "run the serving-frontend chaos soak instead of the demo")
 	campaigns := flag.Int("campaigns", 20, "soak: number of seeded campaigns")
 	rounds := flag.Int("rounds", 40, "soak: monitoring rounds per campaign")
@@ -58,6 +67,9 @@ func main() {
 
 	if *fleetSoak {
 		os.Exit(runFleetSoak(*seed, *campaigns, *rounds, *devices))
+	}
+	if *lifetimeSoak {
+		os.Exit(runLifetimeSoak(*seed, *campaigns, *rounds, *devices))
 	}
 	if *serveSoak {
 		os.Exit(runServeSoak(*seed, *campaigns, *devices))
@@ -201,6 +213,50 @@ func runServeSoak(seed int64, campaigns, devices int) int {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "\nGATE FAILED: %d/%d campaigns violated the serving contract\n", failed, campaigns)
+		return 1
+	}
+	fmt.Println("\ngate: PASS")
+	return 0
+}
+
+// runLifetimeSoak executes the three-arm repair-ladder lifetime soak for
+// each seed: the escalation-ladder fleet campaign (scrub → remap → retrain,
+// costs charged per strategy), the retrain-only control in the same cost
+// units, and the ladder campaign crash-replayed from its journal. The gate
+// demands the ladder beat the control on budget spend and retirements at an
+// equal-or-better fidelity floor, zero untyped strategy errors, and exact
+// crash/restart parity on the journaled strategy decisions. Returns the
+// process exit code: 0 when every seed's gate holds.
+func runLifetimeSoak(seed int64, campaigns, rounds, devices int) int {
+	cfg := campaign.DefaultLifetimeSoakConfig()
+	cfg.Fleet.Rounds = rounds
+	cfg.Fleet.Devices = devices
+	fmt.Printf("lifetime soak: %d campaigns × %d rounds × %d devices, base seed %d\n",
+		campaigns, rounds, devices, seed)
+	fmt.Printf("ladder scrub(%d) → remap(%d) → retrain(%d), budget %d units/device; crashes after rounds %v\n",
+		repair.CostScrub, repair.CostRemap, repair.CostRetrain,
+		cfg.Fleet.Fleet.RepairBudget, cfg.Fleet.CrashAfter)
+	failed, replays := 0, 0
+	for i := 0; i < campaigns; i++ {
+		res, err := campaign.RunLifetimeSoak(seed+int64(i), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lifetime soak:", err)
+			return 1
+		}
+		fmt.Printf("\n%s", res)
+		if !res.Pass() {
+			failed++
+		}
+		replays += res.Crashed.Replays
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "\nGATE FAILED: %d/%d campaigns violated the lifetime contract\n", failed, campaigns)
+		return 1
+	}
+	// a soak whose parity arm never crashed (campaigns=0, or rounds short of
+	// the crash schedule) proved nothing about decision durability
+	if replays == 0 {
+		fmt.Fprintln(os.Stderr, "\nGATE FAILED: nothing exercised (no crash/replay cycles ran)")
 		return 1
 	}
 	fmt.Println("\ngate: PASS")

@@ -73,7 +73,10 @@ func (d *device) Apply(action repair.Action) (*nn.Network, error) {
 		// cloud-edge path: diagnose stuck cells (leaves the arrays
 		// reprogrammed), fine-tune around the frozen faults, redeploy, and
 		// hand back the new reference for monitor recommissioning
-		stuck := repair.DiagnoseStuck(d.accel, d.ref, 0.3)
+		stuck, err := repair.DiagnoseStuck(d.accel, d.ref, 0.3)
+		if err != nil {
+			return nil, err
+		}
 		fmt.Printf("  repair: retraining around %d stuck cells\n", stuck.Count())
 		faulty := d.accel.ReadoutNetwork()
 		cfg := repair.DefaultRetrainConfig()

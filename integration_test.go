@@ -137,7 +137,10 @@ func TestEndToEndHardwarePipeline(t *testing.T) {
 	}
 
 	// repair: diagnose + retrain + redeploy
-	stuck := repair.DiagnoseStuck(accel, net, 0.3)
+	stuck, err := repair.DiagnoseStuck(accel, net, 0.3)
+	if err != nil {
+		t.Fatalf("DiagnoseStuck: %v", err)
+	}
 	if stuck.Count() == 0 {
 		t.Fatal("diagnosis found no stuck cells after injection")
 	}

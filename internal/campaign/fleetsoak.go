@@ -113,6 +113,11 @@ type FleetResult struct {
 	BreakerTrips, Probes, ProbeRecoveries int
 	SensorFaultRounds                     int
 	Recovered, GaveUp, Retired            int
+
+	// repair-economics trace (the lifetime soak's raw material)
+	RepairCostSpent     int                // budget units charged across all devices
+	UntypedRepairErrors int                // strategy errors violating the typed-error contract (gate: 0)
+	FinalFidelity       map[string]float64 // per-device functional agreement after the last round
 }
 
 // RunFleet executes one seeded fleet campaign and returns its trace.
@@ -213,6 +218,7 @@ func RunFleet(seed int64, cfg FleetSoakConfig) (FleetResult, error) {
 			if rr.GaveUp {
 				res.GaveUp++
 			}
+			res.RepairCostSpent += rr.CostSpent
 		}
 		res.Confirmed = append(res.Confirmed, row)
 
@@ -279,6 +285,11 @@ func RunFleet(seed int64, cfg FleetSoakConfig) (FleetResult, error) {
 		if snap.Retired {
 			res.Retired++
 		}
+	}
+	res.FinalFidelity = make(map[string]float64, len(plants))
+	for i, p := range plants {
+		res.FinalFidelity[res.Devices[i]] = p.Fidelity()
+		res.UntypedRepairErrors += p.UntypedRepairErrors()
 	}
 	return res, nil
 }

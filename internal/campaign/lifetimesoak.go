@@ -1,0 +1,223 @@
+// Lifetime soak: the acceptance gate for the pluggable repair-strategy
+// ladder. One seeded fleet campaign is run three ways —
+//
+//   - ladder arm: scrub → remap → retrain, costs charged per strategy;
+//   - retrain-only control: the same campaign where every repair is the
+//     cloud-edge retrain, charged in the same cost units;
+//   - crashed ladder arm: the ladder campaign with supervisor crashes and
+//     torn journal tails, replayed from the write-ahead journal.
+//
+// and three properties are gated:
+//
+//  1. economics — the ladder must not spend more lifetime budget than
+//     retrain-only, must not retire more devices, and must hold an
+//     equal-or-better fidelity floor (within FidelityTol);
+//  2. typed errors — zero strategy applications across all arms may return
+//     an error outside the *repair.Error / *repair.DiagnosisError contract;
+//  3. decision parity — the crashed ladder arm must replay to the exact
+//     confirmed-status history, durable state AND journaled strategy
+//     decisions of the uninterrupted one.
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+
+	"reramtest/internal/monitor"
+)
+
+// LifetimeSoakConfig parameterises the three-arm lifetime soak.
+type LifetimeSoakConfig struct {
+	// Fleet is the shared campaign script: devices, rounds, event timelines,
+	// crash schedule (applied to the parity arm only). Plant.Ladder /
+	// Plant.RetrainOnly are overridden per arm.
+	Fleet FleetSoakConfig
+	// FidelityTol is the slack allowed on the ladder arm's fidelity floor
+	// relative to the control arm (0 → 0.02, the campaign's recovery band).
+	FidelityTol float64
+}
+
+// DefaultLifetimeSoakConfig returns the gate-scale soak: the default fleet
+// campaign with drop-connect-hardened commissioning, spare rows provisioned,
+// and a budget tight enough that repair economics actually bite.
+func DefaultLifetimeSoakConfig() LifetimeSoakConfig {
+	fcfg := DefaultFleetSoakConfig()
+	fcfg.Plant.Harden = true
+	fcfg.Plant.SpareRows = 2
+	// A 16-pattern monitor is too coarse an oracle for the economics gates:
+	// it verifies repairs that leave visible probe-fidelity damage, letting a
+	// cheap rung "succeed" where the control's retrain actually restores the
+	// array. 48 patterns keeps verification honest without slowing the soak
+	// beyond gate scale.
+	fcfg.Plant.Patterns = 48
+	fcfg.Fleet.RepairBudget = 12
+	return LifetimeSoakConfig{Fleet: fcfg, FidelityTol: 0.02}
+}
+
+// LifetimeArm is one arm's economic summary.
+type LifetimeArm struct {
+	Result    FleetResult
+	CostSpent int // lifetime budget units charged fleet-wide
+	Retired   int // devices retired to hardware service
+	// FidelityFloor is the worst final fidelity across SERVING devices — the
+	// ones the router actually dispatches to (not retired, confirmed at
+	// worst Degraded). A quarantined wreck the arm kept limping does not
+	// drag the floor: it receives no traffic, so it is not part of the
+	// service the fleet delivers.
+	FidelityFloor float64
+	Serving       int
+	UntypedErrors int
+}
+
+func summarizeArm(res FleetResult) LifetimeArm {
+	arm := LifetimeArm{
+		Result:        res,
+		CostSpent:     res.RepairCostSpent,
+		Retired:       res.Retired,
+		FidelityFloor: 1,
+		UntypedErrors: res.UntypedRepairErrors,
+	}
+	final := res.Confirmed[len(res.Confirmed)-1]
+	for i, id := range res.Devices {
+		if res.FinalSnapshot[id].Retired || final[i] > monitor.Degraded {
+			continue
+		}
+		arm.Serving++
+		arm.FidelityFloor = math.Min(arm.FidelityFloor, res.FinalFidelity[id])
+	}
+	if arm.Serving == 0 {
+		arm.FidelityFloor = 0
+	}
+	return arm
+}
+
+// LifetimeSoakResult is the three-arm comparison and its gate verdicts.
+type LifetimeSoakResult struct {
+	Seed                int64
+	Ladder, RetrainOnly LifetimeArm
+	// Crashed is the ladder arm re-run with the configured crash schedule.
+	Crashed FleetResult
+	Parity  FleetPairResult
+
+	// DecisionDivergences counts devices whose journaled strategy-decision
+	// logs differ between the crashed and uninterrupted ladder arms.
+	DecisionDivergences int
+	// CommonFloorLadder/CommonFloorControl are the fidelity floors over the
+	// devices serving in BOTH arms — the like-for-like comparison the
+	// fidelity gate uses.
+	CommonFloorLadder, CommonFloorControl float64
+
+	// Gate verdicts.
+	SpendOK    bool // ladder spend ≤ retrain-only spend
+	RetireOK   bool // ladder retirements ≤ retrain-only retirements
+	FidelityOK bool // ladder floor ≥ control floor − FidelityTol
+	TypedOK    bool // zero untyped strategy errors across all arms
+	ParityOK   bool // crash/restart replay is byte-equivalent, decisions included
+}
+
+// Pass reports whether every gate held.
+func (r LifetimeSoakResult) Pass() bool {
+	return r.SpendOK && r.RetireOK && r.FidelityOK && r.TypedOK && r.ParityOK
+}
+
+// String renders the verdict table.
+func (r LifetimeSoakResult) String() string {
+	var b strings.Builder
+	mark := func(ok bool) string {
+		if ok {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	fmt.Fprintf(&b, "lifetime soak seed=%d\n", r.Seed)
+	fmt.Fprintf(&b, "  spend    %s  ladder=%d retrain-only=%d\n", mark(r.SpendOK), r.Ladder.CostSpent, r.RetrainOnly.CostSpent)
+	fmt.Fprintf(&b, "  retire   %s  ladder=%d retrain-only=%d\n", mark(r.RetireOK), r.Ladder.Retired, r.RetrainOnly.Retired)
+	fmt.Fprintf(&b, "  fidelity %s  common floor ladder=%.4f retrain-only=%.4f (serving %d vs %d)\n", mark(r.FidelityOK),
+		r.CommonFloorLadder, r.CommonFloorControl, r.Ladder.Serving, r.RetrainOnly.Serving)
+	fmt.Fprintf(&b, "  typed    %s  untyped errors=%d\n", mark(r.TypedOK),
+		r.Ladder.UntypedErrors+r.RetrainOnly.UntypedErrors+r.Crashed.UntypedRepairErrors)
+	fmt.Fprintf(&b, "  parity   %s  status=%d state=%d decisions=%d replays=%d truncated=%dB\n", mark(r.ParityOK),
+		r.Parity.StatusDivergences, r.Parity.FinalStateDivergences, r.DecisionDivergences, r.Crashed.Replays, r.Crashed.TruncatedBytes)
+	fmt.Fprintf(&b, "  verdict  %s\n", mark(r.Pass()))
+	return b.String()
+}
+
+// RunLifetimeSoak executes the three-arm soak for one seed. Deterministic:
+// the same seed and config always produce the same result.
+func RunLifetimeSoak(seed int64, cfg LifetimeSoakConfig) (LifetimeSoakResult, error) {
+	if cfg.FidelityTol <= 0 {
+		cfg.FidelityTol = 0.02
+	}
+
+	ladderCfg := cfg.Fleet
+	ladderCfg.Plant.Ladder = true
+	ladderCfg.Plant.RetrainOnly = false
+
+	controlCfg := cfg.Fleet
+	controlCfg.Plant.Ladder = false
+	controlCfg.Plant.RetrainOnly = true
+	controlCfg.CrashAfter = nil
+	controlCfg.CorruptTail = false
+
+	res := LifetimeSoakResult{Seed: seed}
+
+	// arms 1 + 3: the ladder campaign, uninterrupted and crash-replayed
+	pair, err := RunFleetPair(seed, ladderCfg)
+	if err != nil {
+		return res, fmt.Errorf("campaign: lifetime soak ladder arm: %w", err)
+	}
+	res.Parity = pair
+	res.Ladder = summarizeArm(pair.Uninterrupted)
+	res.Crashed = pair.Crashed
+
+	// arm 2: the retrain-only control, same seed, same timelines
+	control, err := RunFleet(seed, controlCfg)
+	if err != nil {
+		return res, fmt.Errorf("campaign: lifetime soak control arm: %w", err)
+	}
+	res.RetrainOnly = summarizeArm(control)
+
+	// the fidelity floors are compared like-for-like, over devices serving
+	// in BOTH arms: a device only the ladder kept in service is extra
+	// capacity (credited by the retire gate), not a floor penalty, and a
+	// device only the control kept is symmetric
+	res.CommonFloorLadder, res.CommonFloorControl = 1, 1
+	common := 0
+	finalL := pair.Uninterrupted.Confirmed[len(pair.Uninterrupted.Confirmed)-1]
+	finalC := control.Confirmed[len(control.Confirmed)-1]
+	for i, id := range pair.Uninterrupted.Devices {
+		servesL := !pair.Uninterrupted.FinalSnapshot[id].Retired && finalL[i] <= monitor.Degraded
+		servesC := !control.FinalSnapshot[id].Retired && finalC[i] <= monitor.Degraded
+		if !servesL || !servesC {
+			continue
+		}
+		common++
+		res.CommonFloorLadder = math.Min(res.CommonFloorLadder, pair.Uninterrupted.FinalFidelity[id])
+		res.CommonFloorControl = math.Min(res.CommonFloorControl, control.FinalFidelity[id])
+	}
+	if common == 0 {
+		res.CommonFloorLadder, res.CommonFloorControl = 0, 0
+	}
+
+	// decision parity, called out separately from the whole-state DeepEqual
+	// so a divergence names the journaled artifact the gate is about
+	for _, id := range pair.Uninterrupted.Devices {
+		a := pair.Uninterrupted.FinalSnapshot[id].Decisions
+		b := pair.Crashed.FinalSnapshot[id].Decisions
+		if !reflect.DeepEqual(a, b) {
+			res.DecisionDivergences++
+		}
+	}
+
+	res.SpendOK = res.Ladder.CostSpent <= res.RetrainOnly.CostSpent
+	res.RetireOK = res.Ladder.Retired <= res.RetrainOnly.Retired
+	res.FidelityOK = res.CommonFloorLadder >= res.CommonFloorControl-cfg.FidelityTol
+	res.TypedOK = res.Ladder.UntypedErrors == 0 && res.RetrainOnly.UntypedErrors == 0 &&
+		res.Crashed.UntypedRepairErrors == 0
+	res.ParityOK = res.Parity.StatusDivergences == 0 && res.Parity.FinalStateDivergences == 0 &&
+		res.Parity.BudgetDivergences == 0 && res.DecisionDivergences == 0 &&
+		res.Crashed.StateDivergences == 0 && res.Crashed.Misroutes == 0
+	return res, nil
+}

@@ -12,6 +12,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -48,6 +49,32 @@ type PlantConfig struct {
 	ProgramSigma, DriftRate, DriftJitter float64
 	// RetrainEpochs bounds the fault-aware retraining repair.
 	RetrainEpochs int
+
+	// Ladder exposes the plant's pluggable repair-strategy suite
+	// (scrub → remap → retrain) to the health runtime; when false the plant
+	// repairs through the legacy fixed-action path only.
+	Ladder bool
+	// RetrainOnly restricts the exposed suite to the retrain strategy — the
+	// lifetime soak's control arm, charged in the same cost units as the
+	// full ladder.
+	RetrainOnly bool
+	// SpareRows provisions spare lines per crossbar for stuck-at remapping
+	// (0 → 2 when Ladder is set).
+	SpareRows int
+	// ScrubTol is the relative conductance-error band for scrub/remap
+	// diagnosis (0 → 0.25).
+	ScrubTol float64
+	// RemapMaxPerLine is the stuck-cell count above which a whole line is
+	// remapped to a spare instead of corrected cell-by-cell (0 → 2).
+	RemapMaxPerLine int
+
+	// Harden fine-tunes the workload model under drop-connect weight masking
+	// at commissioning, baking stuck-at tolerance into the weights before
+	// they are ever programmed (arXiv:2404.15498).
+	Harden bool
+	// HardenP/HardenEpochs tune the hardening schedule (0 → 0.1 / 2).
+	HardenP      float64
+	HardenEpochs int
 }
 
 // DefaultPlantConfig returns a seconds-scale plant: a 3-layer MLP on 32×32
@@ -78,7 +105,14 @@ var (
 	templateCache = map[string]*template{}
 )
 
-func templateKey(cfg PlantConfig) string { return fmt.Sprintf("%+v", cfg) }
+// templateKey ignores the knobs that do not shape the template itself
+// (repair-suite wiring, device spares), so the ladder and retrain-only arms
+// of a lifetime soak share one trained workload model.
+func templateKey(cfg PlantConfig) string {
+	cfg.Ladder, cfg.RetrainOnly = false, false
+	cfg.SpareRows, cfg.ScrubTol, cfg.RemapMaxPerLine = 0, 0, 0
+	return fmt.Sprintf("%+v", cfg)
+}
 
 // buildTemplate trains the workload model on synthetic Gaussian-cluster data
 // and self-labels the retrain/probe sets with its predictions.
@@ -95,6 +129,20 @@ func buildTemplate(cfg PlantConfig) *template {
 	tcfg.Epochs = 5
 	tcfg.Seed = r.Int63()
 	models.Train(net, pool, nil, tcfg)
+	if cfg.Harden {
+		// commissioning-time drop-connect hardening: the deployed weights are
+		// fault-aware BEFORE self-labelling, so commissioning fidelity stays
+		// 1.0 by construction against the hardened model
+		hcfg := repair.DefaultHardenConfig()
+		if cfg.HardenP > 0 {
+			hcfg.DropP = cfg.HardenP
+		}
+		if cfg.HardenEpochs > 0 {
+			hcfg.Epochs = cfg.HardenEpochs
+		}
+		hcfg.Seed = r.Int63()
+		repair.HardenDropConnect(net, pool, nil, hcfg)
+	}
 
 	// self-label everything with the trained model's predictions
 	pool.Y = net.Predict(pool.X)
@@ -165,13 +213,16 @@ func (g GlitchMode) String() string {
 	}
 }
 
-// Plant is one campaign's device-under-test. It implements health.Repairer.
+// Plant is one campaign's device-under-test. It implements health.Repairer,
+// and — when cfg.Ladder or cfg.RetrainOnly exposes the strategy suite —
+// health.StrategyRepairer.
 type Plant struct {
-	cfg   PlantConfig
-	tmpl  *template
-	ref   *nn.Network // current reference weights (changes after retrain)
-	accel *reram.Accelerator
-	r     *rng.RNG
+	cfg     PlantConfig
+	tmpl    *template
+	ref     *nn.Network // current reference weights (changes after retrain)
+	accel   *reram.Accelerator
+	r       *rng.RNG
+	untyped int // repair-strategy errors that failed the typed-error contract
 
 	round                  int // current campaign round, set by the runner
 	glitchMode             GlitchMode
@@ -203,7 +254,38 @@ func (p *Plant) reramConfig() reram.Config {
 	rc.Device.ProgramSigma = p.cfg.ProgramSigma
 	rc.Device.DriftRate = p.cfg.DriftRate
 	rc.Device.DriftJitter = p.cfg.DriftJitter
+	rc.Device.SpareRows = p.spareRows()
 	return rc
+}
+
+// Ladder-knob defaults: only meaningful when cfg.Ladder (or RetrainOnly)
+// exposes the strategy suite.
+func (p *Plant) spareRows() int {
+	if p.cfg.SpareRows > 0 {
+		return p.cfg.SpareRows
+	}
+	if p.cfg.Ladder {
+		return 2
+	}
+	return 0
+}
+
+func (p *Plant) scrubTol() float64 {
+	if p.cfg.ScrubTol > 0 {
+		return p.cfg.ScrubTol
+	}
+	// Tight by default: a scrub that leaves cells 25% off their programmed
+	// level verifies at the monitor yet drags probe fidelity well below the
+	// retrain-only control. 10% of the conductance window keeps the repaired
+	// array functionally close to the reference.
+	return 0.10
+}
+
+func (p *Plant) remapMaxPerLine() int {
+	if p.cfg.RemapMaxPerLine > 0 {
+		return p.cfg.RemapMaxPerLine
+	}
+	return 2
 }
 
 // Reference returns the model the monitor should currently be commissioned
@@ -312,7 +394,10 @@ func (p *Plant) Apply(action repair.Action) (*nn.Network, error) {
 		// fine-tune the readout weights around the frozen faults on the
 		// self-labelled set, redeploy, and hand the new reference back for
 		// monitor recommissioning
-		stuck := repair.DiagnoseStuck(p.accel, p.ref, 0.3)
+		stuck, err := repair.DiagnoseStuck(p.accel, p.ref, 0.3)
+		if err != nil {
+			return nil, err
+		}
 		faulty := p.accel.ReadoutNetwork()
 		rcfg := repair.DefaultRetrainConfig()
 		rcfg.Epochs = p.cfg.RetrainEpochs
@@ -331,3 +416,89 @@ func (p *Plant) Apply(action repair.Action) (*nn.Network, error) {
 		return nil, fmt.Errorf("campaign: unknown repair action %v", action)
 	}
 }
+
+// Diagnose implements health.StrategyRepairer: an RNG-free census of what is
+// wrong with the hardware right now. Stuck counts only UNCOMPENSATED pair
+// positions — a stuck cell whose differential partner already re-encodes the
+// weight around it no longer motivates a remap.
+func (p *Plant) Diagnose(confirmed monitor.Status) repair.Diagnosis {
+	tol := p.scrubTol()
+	_, uncompensated := p.accel.StuckStats(tol)
+	return repair.Diagnosis{
+		Status:  confirmed,
+		Drifted: p.accel.DriftedCells(tol),
+		Stuck:   uncompensated,
+		Spares:  p.accel.SpareLines(),
+	}
+}
+
+// Strategies implements health.StrategyRepairer: the plant's repair ladder in
+// escalation order. Empty unless the campaign opted in (cfg.Ladder), which
+// keeps legacy campaigns on the fixed-action path byte-for-byte. The
+// RetrainOnly variant is the lifetime soak's control arm: the same cost
+// accounting with the cloud-edge retrain as the only rung.
+func (p *Plant) Strategies() []repair.Strategy {
+	if !p.cfg.Ladder && !p.cfg.RetrainOnly {
+		return nil
+	}
+	retrain := p.counted(p.retrainStrategy())
+	if p.cfg.RetrainOnly {
+		return []repair.Strategy{retrain}
+	}
+	tol := p.scrubTol()
+	scrub := repair.NewScrub(p.accel, tol)
+	return []repair.Strategy{
+		// scrub is gated to drift-DOMINATED diagnoses: rewriting healthy
+		// cells cannot clear stuck-at damage, and a rung that predictably
+		// fails verification is budget burned before the rung that works
+		p.counted(repair.Func{
+			StrategyName: scrub.Name(), StrategyCost: scrub.Cost(),
+			When: func(d repair.Diagnosis) bool { return scrub.Applicable(d) && d.Drifted > d.Stuck },
+			Do:   scrub.Apply,
+		}),
+		p.counted(repair.NewRemap(p.accel, p.remapMaxPerLine(), tol)),
+		retrain,
+	}
+}
+
+// retrainStrategy wraps the shared retrain rung so a successful retrain also
+// moves the plant's own reference pointer (the Report.NewRef hand-back only
+// recommissions the monitor).
+func (p *Plant) retrainStrategy() repair.Strategy {
+	inner := repair.NewRetrain(p.accel, func() *nn.Network { return p.ref },
+		p.tmpl.train, nil, 0.3, func() repair.RetrainConfig {
+			rcfg := repair.DefaultRetrainConfig()
+			rcfg.Epochs = p.cfg.RetrainEpochs
+			rcfg.Seed = p.r.Int63()
+			return rcfg
+		})
+	return repair.Func{
+		StrategyName: inner.Name(), StrategyCost: inner.Cost(), When: inner.Applicable,
+		Do: func(ctx context.Context, d repair.Diagnosis) (repair.Report, error) {
+			rep, err := inner.Apply(ctx, d)
+			if err == nil && rep.NewRef != nil {
+				p.ref = rep.NewRef
+			}
+			return rep, err
+		},
+	}
+}
+
+// counted decorates a strategy with the typed-error audit the lifetime soak
+// gates on: every Apply error must satisfy repair.IsTyped.
+func (p *Plant) counted(s repair.Strategy) repair.Strategy {
+	return repair.Func{
+		StrategyName: s.Name(), StrategyCost: s.Cost(), When: s.Applicable,
+		Do: func(ctx context.Context, d repair.Diagnosis) (repair.Report, error) {
+			rep, err := s.Apply(ctx, d)
+			if err != nil && !repair.IsTyped(err) {
+				p.untyped++
+			}
+			return rep, err
+		},
+	}
+}
+
+// UntypedRepairErrors reports how many strategy applications returned errors
+// outside the typed *repair.Error / *repair.DiagnosisError contract.
+func (p *Plant) UntypedRepairErrors() int { return p.untyped }

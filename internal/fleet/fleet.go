@@ -63,9 +63,12 @@ type Config struct {
 	// BreakerCooldown is how many rounds an open breaker waits before a
 	// half-open probe (0 → 3).
 	BreakerCooldown int
-	// RepairBudget is each device's lifetime (apply, verify) repair-cycle
-	// allowance; exhausting it retires the device to hardware service
-	// (0 → 6).
+	// RepairBudget is each device's lifetime repair allowance; exhausting it
+	// retires the device to hardware service (0 → 6). Against a plain
+	// health.Repairer it is counted in (apply, verify) cycles; against a
+	// health.StrategyRepairer it is counted in strategy cost units
+	// (repair.CostScrub, repair.CostRemap, …), so a cheap scrub spends less
+	// lifetime than a cloud-edge retrain.
 	RepairBudget int
 	// MinServing is the load-shedding floor: the router refuses to dispatch
 	// when fewer devices serve (0 → 1).
@@ -130,11 +133,21 @@ func (c Config) withDefaults(fleetSize int) Config {
 
 // deviceState is the supervisor's per-device bookkeeping.
 type deviceState struct {
-	dev     Device
-	rt      *health.Runtime
-	budget  int
-	breaker Breaker
-	retired bool
+	dev       Device
+	rt        *health.Runtime
+	budget    int
+	breaker   Breaker
+	retired   bool
+	decisions []RepairDecision // most recent maxDecisionLog strategy choices
+}
+
+// logDecision appends one repair decision, keeping only the newest
+// maxDecisionLog entries.
+func (ds *deviceState) logDecision(d RepairDecision) {
+	ds.decisions = append(ds.decisions, d)
+	if len(ds.decisions) > maxDecisionLog {
+		ds.decisions = ds.decisions[len(ds.decisions)-maxDecisionLog:]
+	}
 }
 
 // RoundResult is one device's outcome for one fleet tick.
@@ -159,6 +172,7 @@ type RoundResult struct {
 
 	Repaired, Recovered, GaveUp bool
 	Attempts                    int // repair cycles spent this round
+	CostSpent                   int // budget units charged this round
 	BudgetLeft                  int
 	Retired                     bool
 }
@@ -252,6 +266,7 @@ func Resume(devices []Device, cfg Config, jw *journal.Writer, payloads [][]byte)
 		ds.budget = snap.Budget
 		ds.breaker = snap.Breaker
 		ds.retired = snap.Retired
+		ds.decisions = append([]RepairDecision(nil), snap.Decisions...)
 	}
 	s.router.Update(s.servingEntries())
 	return s, nil
@@ -373,12 +388,25 @@ func (s *Supervisor) tickDevice(ctx context.Context, ds *deviceState) RoundResul
 		return res
 	}
 
-	grant := ds.budget
-	if grant > s.cfg.Health.MaxRepairAttempts {
-		grant = s.cfg.Health.MaxRepairAttempts
+	// the whole remaining lifetime budget is granted: the runtime caps its
+	// own spend (MaxRepairAttempts cycles on the action path; cost units and
+	// MaxRepairAttempts both on the strategy-ladder path) and reports the
+	// actual charge back in Episode.CostSpent
+	ep := ds.rt.SuperviseBudgetCtx(ctx, ds.dev.Infer(), ds.dev.Repairer(), ds.budget)
+	ds.budget -= ep.CostSpent
+	for _, att := range ep.Attempts {
+		name := att.Strategy
+		if name == "" {
+			name = att.Action.String()
+		}
+		ds.logDecision(RepairDecision{
+			Round:    s.round,
+			Strategy: name,
+			Cost:     att.Cost,
+			Verified: att.Verified,
+			Failed:   att.ApplyErr != nil,
+		})
 	}
-	ep := ds.rt.SuperviseBudgetCtx(ctx, ds.dev.Infer(), ds.dev.Repairer(), grant)
-	ds.budget -= len(ep.Attempts)
 
 	res.Confirmed = ds.rt.Confirmed()
 	res.Raw = ep.Trigger.Raw
@@ -388,13 +416,15 @@ func (s *Supervisor) tickDevice(ctx context.Context, ds *deviceState) RoundResul
 	res.Recovered = ep.Recovered
 	res.GaveUp = ep.GaveUp
 	res.Attempts = len(ep.Attempts)
+	res.CostSpent = ep.CostSpent
 	res.BudgetLeft = ds.budget
 
 	res.Tripped = ds.breaker.ObserveRound(ep.Trigger.SensorFault, s.round, s.cfg.BreakerOpenAfter)
 	res.Quarantined = res.Tripped
-	if ep.GaveUp && ds.budget <= 0 {
-		// the lifetime budget is gone and the device still cannot verify
-		// clean: permanent quarantine, hardware service required
+	if ep.GaveUp && (ep.RetireAdvised || ds.budget <= 0) {
+		// either the lifetime budget is gone, or the runtime determined no
+		// applicable strategy fits what remains: permanent quarantine,
+		// hardware service required
 		ds.retired = true
 		res.Retired = true
 	}
@@ -417,6 +447,7 @@ func (s *Supervisor) appendRecord(kind string) error {
 			Budget:      ds.budget,
 			Breaker:     ds.breaker,
 			Retired:     ds.retired,
+			Decisions:   append([]RepairDecision(nil), ds.decisions...),
 		})
 	}
 	payload, err := encodeRecord(rec)
@@ -538,6 +569,7 @@ func (s *Supervisor) Snapshot() map[string]DeviceSnapshot {
 			Budget:      ds.budget,
 			Breaker:     ds.breaker,
 			Retired:     ds.retired,
+			Decisions:   append([]RepairDecision(nil), ds.decisions...),
 		}
 	}
 	return out

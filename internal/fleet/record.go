@@ -7,18 +7,39 @@ import (
 	"reramtest/internal/health"
 )
 
+// RepairDecision is one journaled strategy choice: which rung of the repair
+// ladder ran on which round, what it charged against the lifetime budget,
+// and how it ended. The decision log is what makes crash recovery honest
+// about repair history — after a restart the resumed supervisor knows not
+// just the remaining budget but how it was spent.
+type RepairDecision struct {
+	Round    int    `json:"round"`
+	Strategy string `json:"strategy"`
+	Cost     int    `json:"cost"`
+	Verified bool   `json:"verified,omitempty"`
+	Failed   bool   `json:"failed,omitempty"` // the apply itself errored
+}
+
+// maxDecisionLog caps the per-device decision history carried in every
+// journal record. Group commits rewrite full device state each tick, so an
+// unbounded log would grow every record for the device's whole life; 64
+// decisions is deeper than any plausible escalation history while keeping
+// records O(1).
+const maxDecisionLog = 64
+
 // DeviceRecord is one device's durable state inside a journal record:
 // hysteresis snapshot, remaining repair budget, breaker position,
-// retirement flag and the current commission fingerprint (stimulus patterns
-// + golden confidences hashed bit-exactly; it moves when a retraining
-// repair recommissions the monitor).
+// retirement flag, the recent repair-strategy decision log and the current
+// commission fingerprint (stimulus patterns + golden confidences hashed
+// bit-exactly; it moves when a retraining repair recommissions the monitor).
 type DeviceRecord struct {
-	Device      string       `json:"device"`
-	Fingerprint uint64       `json:"fingerprint"`
-	State       health.State `json:"state"`
-	Budget      int          `json:"budget"`
-	Breaker     Breaker      `json:"breaker"`
-	Retired     bool         `json:"retired,omitempty"`
+	Device      string           `json:"device"`
+	Fingerprint uint64           `json:"fingerprint"`
+	State       health.State     `json:"state"`
+	Budget      int              `json:"budget"`
+	Breaker     Breaker          `json:"breaker"`
+	Retired     bool             `json:"retired,omitempty"`
+	Decisions   []RepairDecision `json:"decisions,omitempty"`
 }
 
 // Record is one journaled durable state transition for the whole fleet.
@@ -63,6 +84,7 @@ type DeviceSnapshot struct {
 	Budget      int
 	Breaker     Breaker
 	Retired     bool
+	Decisions   []RepairDecision
 }
 
 // Validate rejects snapshots that could not have been journaled by a
@@ -76,6 +98,20 @@ func (s DeviceSnapshot) Validate() error {
 	}
 	if err := s.State.Validate(); err != nil {
 		return err
+	}
+	if len(s.Decisions) > maxDecisionLog {
+		return fmt.Errorf("fleet: snapshot decision log %d exceeds cap %d", len(s.Decisions), maxDecisionLog)
+	}
+	for i, d := range s.Decisions {
+		if d.Round < 0 {
+			return fmt.Errorf("fleet: snapshot decision %d: negative round %d", i, d.Round)
+		}
+		if d.Strategy == "" {
+			return fmt.Errorf("fleet: snapshot decision %d names no strategy", i)
+		}
+		if d.Cost < 0 {
+			return fmt.Errorf("fleet: snapshot decision %d: negative cost %d", i, d.Cost)
+		}
 	}
 	return s.Breaker.Validate()
 }
@@ -108,6 +144,7 @@ func ReplayRecords(payloads [][]byte) (snaps map[string]DeviceSnapshot, round in
 					Budget:      d.Budget,
 					Breaker:     d.Breaker,
 					Retired:     d.Retired,
+					Decisions:   append([]RepairDecision(nil), d.Decisions...),
 				}
 				if err := snap.Validate(); err != nil {
 					return nil, 0, fmt.Errorf("fleet: journal record %d for %s: %w", i, d.Device, err)

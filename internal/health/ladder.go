@@ -1,0 +1,121 @@
+// Strategy-ladder supervision: instead of the fixed action escalation
+// (reprogram → retrain → replace), a StrategyRepairer exposes an ordered
+// suite of repair.Strategy rungs (scrub → remap → retrain → …) with
+// per-strategy costs. The supervise loop walks the ladder from the cheapest
+// applicable rung, charges each application against the episode's cost
+// budget, verifies recovery after each rung, and advises retirement when the
+// cheapest strategy still applicable no longer fits the remaining budget —
+// so the fleet retires a device the moment further spend cannot help, not
+// after the budget bleeds to zero one failed retrain at a time.
+package health
+
+import (
+	"context"
+	"fmt"
+
+	"reramtest/internal/monitor"
+	"reramtest/internal/repair"
+)
+
+// StrategyRepairer is a Repairer that additionally exposes a cost-ordered
+// repair-strategy ladder. When a repairer implements this interface (and
+// Strategies returns a non-empty suite), SuperviseBudgetCtx takes the
+// cost-accounted ladder path: budget is interpreted in strategy cost units
+// rather than attempt counts, and each episode walks the ladder cheapest
+// rung first.
+type StrategyRepairer interface {
+	Repairer
+	// Strategies returns the ladder in escalation order (cheapest first).
+	// The slice must be stable across calls within an episode.
+	Strategies() []repair.Strategy
+	// Diagnose inspects the hardware and summarises what is wrong, given the
+	// currently confirmed status; strategies gate their Applicable on it.
+	Diagnose(confirmed monitor.Status) repair.Diagnosis
+}
+
+// superviseLadder drives one repair episode over a strategy ladder. budget
+// is in cost units; the number of (apply, verify) cycles is additionally
+// capped by cfg.MaxRepairAttempts so a pathological suite of zero-cost
+// strategies cannot loop unboundedly. Each rung is tried at most once per
+// episode: a rung that fails verification escalates to the next applicable
+// rung above it.
+func (rt *Runtime) superviseLadder(ctx context.Context, accel monitor.Infer, sr StrategyRepairer, strats []repair.Strategy, budget int, ep Episode) Episode {
+	next := 0 // lowest rung still eligible this episode
+	for len(ep.Attempts) < rt.cfg.MaxRepairAttempts {
+		if ctx.Err() != nil {
+			break
+		}
+		diag := sr.Diagnose(rt.confirmed)
+		pick := -1
+		for i := next; i < len(strats); i++ {
+			if strats[i].Applicable(diag) {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			// no rung at or above the current one applies; the post-loop
+			// cheapest-applicable check decides whether to advise retirement
+			break
+		}
+		s := strats[pick]
+		if s.Cost() > budget-ep.CostSpent {
+			// the cheapest eligible rung no longer fits this episode's
+			// budget; stop before spending what we cannot afford
+			break
+		}
+		att := Attempt{Strategy: s.Name(), Cost: s.Cost()}
+		rep, err := s.Apply(ctx, diag)
+		// the cost is charged even when the application fails: the hardware
+		// operation ran (or partially ran) and the fleet's lifetime budget
+		// models wear, not success
+		ep.CostSpent += s.Cost()
+		att.Action = rep.Action
+		if err != nil {
+			att.ApplyErr = err
+		} else {
+			if rep.NewRef != nil {
+				rt.mon.Recommission(rep.NewRef)
+				att.Recommissioned = true
+			}
+			att.Verified, att.VerifyDist = rt.verify(ctx, accel)
+		}
+		ep.Attempts = append(ep.Attempts, att)
+		if att.Verified {
+			rt.forceConfirmed(monitor.Healthy)
+			ep.Recovered = true
+			ep.Recommendation = "none"
+			break
+		}
+		next = pick + 1
+	}
+	ep.Final = rt.confirmed
+	if !ep.Recovered {
+		if ctx.Err() != nil {
+			ep.Recommendation = fmt.Sprintf("episode aborted: %v", ctx.Err())
+		} else {
+			ep.GaveUp = true
+			// retire only when the cheapest strategy still applicable — a
+			// future episode restarts at rung 0 — exceeds what is left, or
+			// nothing applies at all: keeping the device costs rounds and
+			// can never produce a repair
+			diag := sr.Diagnose(rt.confirmed)
+			cheapest := -1
+			for _, s := range strats {
+				if s.Applicable(diag) && (cheapest < 0 || s.Cost() < cheapest) {
+					cheapest = s.Cost()
+				}
+			}
+			if cheapest < 0 {
+				ep.RetireAdvised = true
+				ep.Recommendation = "hardware service: no applicable repair strategy"
+			} else if cheapest > budget-ep.CostSpent {
+				ep.RetireAdvised = true
+				ep.Recommendation = "hardware service: cheapest applicable strategy exceeds remaining budget"
+			} else {
+				ep.Recommendation = "hardware service: ladder exhausted without verification"
+			}
+		}
+	}
+	return ep
+}

@@ -36,6 +36,8 @@ func (f RepairerFunc) Apply(a repair.Action) (*nn.Network, error) { return f(a) 
 // Attempt records one (apply, verify) cycle of a repair episode.
 type Attempt struct {
 	Action         repair.Action
+	Strategy       string  // strategy name on the ladder path; "" on the action path
+	Cost           int     // budget units charged (1 on the action path)
 	ApplyErr       error   // the action itself failed (episode escalates)
 	Verified       bool    // all verification rounds came back Healthy
 	VerifyDist     float64 // worst AllDist seen across verification rounds
@@ -44,8 +46,12 @@ type Attempt struct {
 
 // String renders the attempt on one line.
 func (a Attempt) String() string {
+	label := a.Action.String()
+	if a.Strategy != "" {
+		label = a.Strategy
+	}
 	if a.ApplyErr != nil {
-		return fmt.Sprintf("%s: apply failed: %v", a.Action, a.ApplyErr)
+		return fmt.Sprintf("%s: apply failed: %v", label, a.ApplyErr)
 	}
 	verdict := "FAILED verification"
 	if a.Verified {
@@ -55,7 +61,7 @@ func (a Attempt) String() string {
 	if a.Recommissioned {
 		recom = ", recommissioned"
 	}
-	return fmt.Sprintf("%s: %s (worst verify dist %.4f%s)", a.Action, verdict, a.VerifyDist, recom)
+	return fmt.Sprintf("%s: %s (worst verify dist %.4f%s)", label, verdict, a.VerifyDist, recom)
 }
 
 // Episode is the outcome of one Supervise call.
@@ -75,6 +81,14 @@ type Episode struct {
 	Recommendation string
 	// Final is the runtime's confirmed status after the episode.
 	Final monitor.Status
+	// CostSpent is the budget charge for this episode: the sum of strategy
+	// Cost() on the ladder path, or one unit per attempt on the action path.
+	CostSpent int
+	// RetireAdvised reports that no applicable strategy fits the remaining
+	// budget (or nothing is applicable at all): spending more rounds on this
+	// device cannot help, so the fleet should retire it rather than wait for
+	// the budget to bleed to zero.
+	RetireAdvised bool
 }
 
 // Repaired reports whether any repair work ran this episode.
@@ -149,8 +163,17 @@ func (rt *Runtime) SuperviseBudgetCtx(ctx context.Context, accel monitor.Infer, 
 	}
 	if budget <= 0 {
 		ep.GaveUp = true
+		ep.RetireAdvised = true
 		ep.Recommendation = "hardware service: repair budget exhausted"
 		return ep
+	}
+	// a repairer that exposes a strategy ladder takes the cost-accounted
+	// path: budget is in cost units there (NOT clamped to MaxRepairAttempts,
+	// which caps attempts separately)
+	if sr, ok := rep.(StrategyRepairer); ok {
+		if strats := sr.Strategies(); len(strats) > 0 {
+			return rt.superviseLadder(ctx, accel, sr, strats, budget, ep)
+		}
 	}
 	if budget > rt.cfg.MaxRepairAttempts {
 		budget = rt.cfg.MaxRepairAttempts
@@ -159,7 +182,7 @@ func (rt *Runtime) SuperviseBudgetCtx(ctx context.Context, accel monitor.Infer, 
 		if ctx.Err() != nil {
 			break
 		}
-		att := Attempt{Action: action}
+		att := Attempt{Action: action, Cost: 1}
 		newRef, err := rep.Apply(action)
 		if err != nil {
 			att.ApplyErr = err
@@ -187,6 +210,7 @@ func (rt *Runtime) SuperviseBudgetCtx(ctx context.Context, accel monitor.Infer, 
 		action = next
 	}
 	ep.Final = rt.confirmed
+	ep.CostSpent = len(ep.Attempts)
 	if !ep.Recovered {
 		if ctx.Err() != nil {
 			// the caller canceled, the hardware was not exonerated or

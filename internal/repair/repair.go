@@ -107,7 +107,34 @@ func (m StuckMask) Count() int {
 //
 // The accelerator is left reprogrammed (a side effect the caller wants
 // anyway, since diagnosis is always followed by a repair attempt).
-func DiagnoseStuck(accel *reram.Accelerator, target *nn.Network, tol float64) StuckMask {
+//
+// A non-positive tol or a degenerate target parameter (empty, or all-zero
+// so the stuck threshold collapses to 0 and every cell would read stuck)
+// returns a *DiagnosisError before touching the hardware — silently
+// producing a garbage mask used to feed those inputs straight into
+// retraining.
+func DiagnoseStuck(accel *reram.Accelerator, target *nn.Network, tol float64) (StuckMask, error) {
+	if tol <= 0 {
+		return nil, &DiagnosisError{Reason: "tolerance", Tol: tol}
+	}
+	for _, p := range target.Params() {
+		// only rank-2 weight matrices live on crossbars; biases stay in
+		// digital logic, read back exactly, and are legitimately all-zero
+		// at initialisation
+		if p.Value.Rank() != 2 {
+			continue
+		}
+		degenerate := true
+		for _, v := range p.Value.Data() {
+			if v != 0 {
+				degenerate = false
+				break
+			}
+		}
+		if degenerate {
+			return nil, &DiagnosisError{Reason: "degenerate", Param: p.Name}
+		}
+	}
 	accel.Reprogram()
 	first := accel.ReadoutNetwork()
 	accel.Reprogram()
@@ -136,21 +163,30 @@ func DiagnoseStuck(accel *reram.Accelerator, target *nn.Network, tol float64) St
 		}
 		mask[p.Name] = m
 	}
-	return mask
+	return mask, nil
 }
 
 // Report summarises one repair round.
 type Report struct {
 	Action    Action
-	Stuck     int     // stuck cells diagnosed (Remap/Retrain)
+	Strategy  string // strategy name when produced by a Strategy; "" otherwise
+	Stuck     int    // stuck cells diagnosed (Remap/Retrain)
+	Cells     int    // cells rewritten / lines remapped (strategy repairs)
 	AccBefore float64 // accuracy before repair (if measured; -1 otherwise)
 	AccAfter  float64 // accuracy after repair (if measured; -1 otherwise)
-	Detail    string
+	// NewRef, when non-nil, is a replacement reference network (fault-aware
+	// retraining deployed new weights): the monitor must be recommissioned
+	// against it before the repair can verify.
+	NewRef *nn.Network
+	Detail string
 }
 
 // String renders the report on one line.
 func (r Report) String() string {
 	parts := []string{fmt.Sprintf("action=%s", r.Action)}
+	if r.Strategy != "" {
+		parts = append(parts, fmt.Sprintf("strategy=%s", r.Strategy))
+	}
 	if r.Stuck > 0 {
 		parts = append(parts, fmt.Sprintf("stuck=%d", r.Stuck))
 	}

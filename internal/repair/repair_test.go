@@ -48,17 +48,28 @@ func idealConfig() reram.Config {
 	return cfg
 }
 
+// mustDiagnose fails the test on a diagnosis error — the well-formed-input
+// path every existing test exercises.
+func mustDiagnose(t *testing.T, accel *reram.Accelerator, net *nn.Network, tol float64) StuckMask {
+	t.Helper()
+	mask, err := DiagnoseStuck(accel, net, tol)
+	if err != nil {
+		t.Fatalf("DiagnoseStuck: %v", err)
+	}
+	return mask
+}
+
 func TestDiagnoseStuckFindsInjectedFaults(t *testing.T) {
 	net := models.MLP(rng.New(1), 16, []int{12}, 4)
 	accel := reram.NewAccelerator(net, idealConfig(), 7)
 	// healthy device: nothing stuck
-	mask := DiagnoseStuck(accel, net, 0.25)
+	mask := mustDiagnose(t, accel, net, 0.25)
 	if n := mask.Count(); n != 0 {
 		t.Fatalf("healthy accelerator diagnosed %d stuck cells", n)
 	}
 	// inject a visible fraction of stuck cells
 	accel.InjectStuckAt(0.05, 0.05)
-	mask = DiagnoseStuck(accel, net, 0.25)
+	mask = mustDiagnose(t, accel, net, 0.25)
 	if n := mask.Count(); n == 0 {
 		t.Fatal("diagnosis found no stuck cells after injection")
 	}
@@ -75,7 +86,7 @@ func TestDiagnoseStuckSurvivesProgrammingNoise(t *testing.T) {
 	cfg := idealConfig()
 	cfg.Device.ProgramSigma = 0.03 // realistic write noise
 	accel := reram.NewAccelerator(net, cfg, 8)
-	mask := DiagnoseStuck(accel, net, 0.35)
+	mask := mustDiagnose(t, accel, net, 0.35)
 	// write noise must not masquerade as stuck cells (a few strays allowed)
 	total := 0
 	for _, m := range mask {

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -36,6 +37,24 @@ func DefaultRetrainConfig() RetrainConfig {
 // Positions absent from the mask (e.g. biases, which live in digital logic)
 // train normally.
 func RetrainAround(net *nn.Network, stuck StuckMask, train, eval *dataset.Dataset, cfg RetrainConfig) float64 {
+	acc, err := RetrainAroundCtx(context.Background(), net, stuck, train, eval, cfg)
+	if err != nil {
+		// background context never cancels, so this is unreachable; keep the
+		// legacy signature total anyway
+		return 0
+	}
+	return acc
+}
+
+// RetrainAroundCtx is RetrainAround with cooperative cancellation: ctx is
+// checked before every batch, and on cancellation the stuck positions are
+// restored (via the SnapshotStuck restore closure) and the network is taken
+// out of training mode before returning, so no frozen-gradient or
+// training-mode state leaks out of an aborted retrain. The non-stuck weights
+// keep whatever fine-tuning they had received — the caller decides whether
+// to deploy or discard the partially-trained network; nothing here touches
+// the hardware. The returned error is typed (*Error wrapping ctx.Err()).
+func RetrainAroundCtx(ctx context.Context, net *nn.Network, stuck StuckMask, train, eval *dataset.Dataset, cfg RetrainConfig) (float64, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 32
 	}
@@ -57,6 +76,11 @@ func RetrainAround(net *nn.Network, stuck StuckMask, train, eval *dataset.Datase
 		total, batches := 0.0, 0
 		it.Reset(r)
 		for {
+			if err := ctx.Err(); err != nil {
+				restoreStuck()
+				net.SetTraining(false)
+				return 0, &Error{Strategy: "retrain", Op: "train", Err: err}
+			}
 			bx, by, ok := it.Next()
 			if !ok {
 				break
@@ -74,7 +98,7 @@ func RetrainAround(net *nn.Network, stuck StuckMask, train, eval *dataset.Datase
 	if eval == nil {
 		eval = train
 	}
-	return net.Accuracy(eval.X, eval.Y, 64)
+	return net.Accuracy(eval.X, eval.Y, 64), nil
 }
 
 // freezeStuckGradients zeroes the gradient of every stuck position so the

@@ -55,6 +55,11 @@ type DeviceParams struct {
 	// SoftErrorRate is the per-cell per-hour probability of a disturb event
 	// that reprograms the cell to a random conductance.
 	SoftErrorRate float64
+	// SpareRows is the number of redundant word-lines fabricated per array
+	// for stuck-at remapping (the paper's hardware-redundancy repair tier).
+	// Zero (the default) models an array without spares; the RemapRow repair
+	// then always reports failure.
+	SpareRows int
 }
 
 // DefaultDeviceParams returns TiO2-memristor-like values: 100 µS LRS, 1 µS
@@ -78,6 +83,7 @@ type Crossbar struct {
 	target     []float64 // intended conductances
 	actual     []float64 // programmed conductances incl. variation/drift
 	state      []CellState
+	spares     int // spare word-lines still available for RemapRow
 	r          *rng.RNG
 }
 
@@ -94,6 +100,7 @@ func NewCrossbar(rows, cols int, dev DeviceParams, r *rng.RNG) *Crossbar {
 		target: make([]float64, rows*cols),
 		actual: make([]float64, rows*cols),
 		state:  make([]CellState, rows*cols),
+		spares: dev.SpareRows,
 		r:      r,
 	}
 	for i := range x.target {
