@@ -2,8 +2,8 @@
 #
 #   make check   vet + build + full test suite + race detector on the
 #                hardened-runtime packages + short campaign, fleet,
-#                serving-chaos and repair-ladder lifetime soak smokes + a
-#                short fuzz pass over the
+#                serving-chaos, network-tier and repair-ladder lifetime soak
+#                smokes + a short fuzz pass over the
 #                journal decoder + the batched inference and training
 #                performance gates (bench-smoke)
 #   make bench-smoke  gate the batched monitor readout and the engine
@@ -15,6 +15,8 @@
 #   make soak    the full 20-campaign acceptance soak with scorecard
 #   make fleet-soak  the full fleet crash/restart acceptance soak
 #   make lifetime-soak  the full 9-seed repair-ladder lifetime soak
+#   make net-soak  the full network-tier chaos soak (4 × 250k-request
+#                campaigns = the million-request gate)
 
 GO ?= go
 
@@ -23,13 +25,15 @@ GO ?= go
 RACE_PKGS = ./internal/health/... ./internal/campaign/... ./internal/monitor/... \
             ./internal/detect/... ./internal/stats/... ./internal/repair/... \
             ./internal/fleet/... ./internal/journal/... ./internal/engine/... \
-            ./internal/tensor/... ./internal/serve/... ./internal/tengine/...
+            ./internal/tensor/... ./internal/serve/... ./internal/tengine/... \
+            ./internal/netserve/... ./internal/loadgen/...
 
 .PHONY: check vet build test race-fast race soak-smoke soak \
         fleet-soak-smoke fleet-soak serve-soak-smoke serve-soak \
+        net-soak-smoke net-soak \
         lifetime-soak-smoke lifetime-soak fuzz-short bench-smoke
 
-check: vet build test race-fast soak-smoke fleet-soak-smoke serve-soak-smoke lifetime-soak-smoke fuzz-short bench-smoke
+check: vet build test race-fast soak-smoke fleet-soak-smoke serve-soak-smoke net-soak-smoke lifetime-soak-smoke fuzz-short bench-smoke
 	@echo "check: PASS"
 
 vet:
@@ -85,6 +89,18 @@ serve-soak-smoke:
 
 serve-soak:
 	$(GO) run ./cmd/monitor -serve-soak -campaigns 10
+
+# network-tier chaos soak: seeded multi-tenant HTTP campaigns against the
+# sharded serving tier over a live loopback listener, with device chaos and
+# a mid-campaign graceful shard drain; gated on zero hung calls, exact typed
+# accounting (admitted == terminal), post-drain liveness, bounded p99 vs a
+# same-seed baseline, and zero leaked goroutines. The full gate runs
+# million-request campaigns; the smoke keeps CI fast.
+net-soak-smoke:
+	$(GO) run ./cmd/monitor -net-soak -campaigns 2
+
+net-soak:
+	$(GO) run ./cmd/monitor -net-soak -campaigns 4 -net-requests 250000
 
 # short coverage-guided pass over the journal record decoder (the committed
 # corpus under internal/journal/testdata/fuzz seeds it)

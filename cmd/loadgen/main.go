@@ -1,0 +1,105 @@
+// Command loadgen drives seeded multi-tenant request campaigns against a
+// live serving tier (cmd/served or any endpoint speaking the /v1/infer
+// protocol). The schedule — tenant mix, batch shapes, priorities, fault
+// storms — is a pure function of the seed, so a campaign is replayable
+// byte-for-byte; at -requests 1000000 it is the full-scale arm of the
+// million-request chaos gate.
+//
+//	loadgen -target http://127.0.0.1:8080 -requests 1000000 -concurrency 64
+//
+// Exit status is 0 only when the run satisfies the client-observable half
+// of the serving contract: zero hung requests (nothing outlived its
+// deadline plus grace), zero transport failures and zero untyped outcomes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"reramtest/internal/loadgen"
+)
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8080", "serving tier base URL")
+	requests := flag.Int("requests", 10000, "campaign size")
+	concurrency := flag.Int("concurrency", 32, "in-flight request fan-out")
+	seed := flag.Int64("seed", 1, "campaign seed (same seed = same schedule)")
+	inDim := flag.Int("in-dim", 16, "model input width (must match the tier)")
+	deadlineMs := flag.Int("deadline-ms", 1000, "per-request deadline")
+	stormEvery := flag.Int("storm-every", 0, "every Nth wave is a deadline storm (0 disables)")
+	stormMs := flag.Int("storm-deadline-ms", 2, "storm-wave deadline")
+	grace := flag.Duration("grace", 250*time.Millisecond, "hung-request slack past the deadline")
+	tenants := flag.String("tenants", "alpha:3,beta:2,gamma:1", "tenant mix as name:weight[:monitorP],…")
+	monitorP := flag.Float64("monitor-p", 0.05, "default monitor-priority fraction per tenant")
+	flag.Parse()
+
+	mix, err := parseTenants(*tenants, *monitorP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	cfg := loadgen.Config{
+		Tenants: mix, Requests: *requests, Concurrency: *concurrency,
+		InDim: *inDim, DeadlineMs: *deadlineMs,
+		StormEvery: *stormEvery, StormDeadlineMs: *stormMs, Grace: *grace,
+	}
+
+	tgt := loadgen.NewHTTPTarget(*target, nil)
+	defer tgt.CloseIdle()
+	fmt.Printf("loadgen: %d requests → %s, %d in flight, seed %d, %d tenant(s)\n",
+		*requests, *target, *concurrency, *seed, len(mix))
+
+	lastMark := 0
+	rep, err := loadgen.Run(context.Background(), *seed, tgt, cfg, func(done int) {
+		if done-lastMark >= *requests/10 && *requests >= 1000 {
+			lastMark = done
+			fmt.Printf("  %d/%d\n", done, *requests)
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println(rep)
+	if rep.Hung > 0 || rep.Transport > 0 || rep.Untyped > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: contract violated — hung %d, transport %d, untyped %d\n",
+			rep.Hung, rep.Transport, rep.Untyped)
+		os.Exit(1)
+	}
+}
+
+// parseTenants decodes "name:weight[:monitorP]" specs.
+func parseTenants(spec string, defaultMonitorP float64) ([]loadgen.TenantSpec, error) {
+	var out []loadgen.TenantSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		t := loadgen.TenantSpec{Name: fields[0], Weight: 1, MonitorP: defaultMonitorP}
+		if t.Name == "" {
+			return nil, fmt.Errorf("empty tenant name in %q", spec)
+		}
+		if len(fields) > 1 {
+			if _, err := fmt.Sscanf(fields[1], "%g", &t.Weight); err != nil {
+				return nil, fmt.Errorf("bad weight %q for tenant %s", fields[1], t.Name)
+			}
+		}
+		if len(fields) > 2 {
+			if _, err := fmt.Sscanf(fields[2], "%g", &t.MonitorP); err != nil {
+				return nil, fmt.Errorf("bad monitorP %q for tenant %s", fields[2], t.Name)
+			}
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenants in %q", spec)
+	}
+	return out, nil
+}

@@ -33,6 +33,14 @@
 // client traffic with injected slow readouts, mid-request device crashes and
 // deadline storms, gated on zero hung requests, zero silent drops, a bounded
 // p99 against a no-chaos baseline, and zero leaked goroutines.
+//
+// With -net-soak it runs the network-tier chaos soak: seeded multi-tenant
+// HTTP campaigns against the sharded serving tier over a live loopback
+// listener, with device chaos and a mid-campaign graceful shard drain,
+// gated on zero hung calls, exact accounting (admitted == terminal typed
+// outcomes), post-drain liveness, a bounded p99 and zero leaked goroutines.
+// -net-requests sets the per-campaign request count (the full gate runs
+// ~10⁶; the smoke default stays CI-sized).
 package main
 
 import (
@@ -58,6 +66,8 @@ func main() {
 	fleetSoak := flag.Bool("fleet-soak", false, "run the fleet supervisor crash/restart soak instead of the demo")
 	lifetimeSoak := flag.Bool("lifetime-soak", false, "run the three-arm repair-ladder lifetime soak instead of the demo")
 	serveSoak := flag.Bool("serve-soak", false, "run the serving-frontend chaos soak instead of the demo")
+	netSoak := flag.Bool("net-soak", false, "run the network-tier chaos soak instead of the demo")
+	netRequests := flag.Int("net-requests", 0, "net-soak: requests per campaign (0 = smoke default)")
 	campaigns := flag.Int("campaigns", 20, "soak: number of seeded campaigns")
 	rounds := flag.Int("rounds", 40, "soak: monitoring rounds per campaign")
 	seed := flag.Int64("seed", 1000, "soak: base seed (campaign i uses seed+i)")
@@ -73,6 +83,9 @@ func main() {
 	}
 	if *serveSoak {
 		os.Exit(runServeSoak(*seed, *campaigns, *devices))
+	}
+	if *netSoak {
+		os.Exit(runNetSoak(*seed, *campaigns, *netRequests))
 	}
 	if *soak {
 		os.Exit(runSoak(*seed, *campaigns, *rounds, *minRecovery))
@@ -213,6 +226,61 @@ func runServeSoak(seed int64, campaigns, devices int) int {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "\nGATE FAILED: %d/%d campaigns violated the serving contract\n", failed, campaigns)
+		return 1
+	}
+	fmt.Println("\ngate: PASS")
+	return 0
+}
+
+// runNetSoak executes the seeded network-tier chaos campaigns and prints one
+// verdict line per campaign. Each campaign stands the sharded tier up behind
+// a live loopback listener twice — a clean baseline pass to calibrate the
+// latency envelope, then the chaos pass with device injections and a
+// graceful shard-0 drain at the midpoint — and gates on zero hung calls,
+// exact typed accounting, post-drain liveness, a bounded p99 and zero leaked
+// goroutines. Returns the process exit code: 0 when every campaign's gate
+// holds.
+func runNetSoak(seed int64, campaigns, requests int) int {
+	if campaigns < 1 {
+		fmt.Fprintln(os.Stderr, "GATE FAILED: nothing exercised (campaigns=0)")
+		return 1
+	}
+	cfg := campaign.DefaultNetSoakConfig()
+	if requests > 0 {
+		cfg.Load.Requests = requests
+	}
+	fmt.Printf("net soak: %d campaigns × %d requests over %d shards × %d devices, base seed %d\n",
+		campaigns, cfg.Load.Requests, cfg.Shards, cfg.DevicesPerShard, seed)
+	fmt.Printf("chaos: slow %.0f%%@%v, crash %.1f%%, deadline storm every %d waves @%dms, shard-0 drains at %.0f%%\n",
+		100*cfg.SlowP, cfg.SlowDelay, 100*cfg.CrashP, cfg.Load.StormEvery,
+		cfg.Load.StormDeadlineMs, 100*cfg.DrainAfter)
+	failed := 0
+	for i := 0; i < campaigns; i++ {
+		res, err := campaign.RunNetSoak(seed+int64(i), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "net soak:", err)
+			return 1
+		}
+		verdict := "PASS"
+		fails := res.Failures()
+		if len(fails) != 0 {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("seed %d: %s | ok %d/%d sent (degraded %d, post-drain %d) "+
+			"| invalid %d quota %d deadline %d overload %d no-device %d faulted %d "+
+			"| retries %d drains %d (auto %d) | %.0f req/s | p99 %v (baseline %v, bound %v)\n",
+			res.Seed, verdict, res.Chaos.OK, res.Chaos.Sent, res.Chaos.Degraded, res.PostDrainOK,
+			res.Stats.Invalid, res.Stats.QuotaRejected, res.Stats.Deadlines, res.Stats.Overloaded,
+			res.Stats.Unavailable, res.Stats.Faulted,
+			res.Stats.Retries, res.Stats.Drains, res.Stats.AutoDrains,
+			res.Chaos.Throughput, res.ChaosP99, res.BaselineP99, res.P99Bound)
+		for _, f := range fails {
+			fmt.Printf("         gate violation: %s\n", f)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "\nGATE FAILED: %d/%d campaigns violated the network-tier contract\n", failed, campaigns)
 		return 1
 	}
 	fmt.Println("\ngate: PASS")

@@ -1,0 +1,119 @@
+// Command served runs the network-facing sharded serving tier: N shards,
+// each a health-monitored fleet of simulated engine-backed accelerators
+// behind the concurrent serve frontend, unified under one HTTP listener
+// with consistent-hash tenant placement, per-tenant admission quotas,
+// header-propagated deadlines and bounded cross-shard retries.
+//
+//	served -addr :8080 -shards 2 -devices 3 -quota-rate 512 -quota-burst 1024
+//
+// The wire protocol is documented in internal/netserve/http.go and
+// DESIGN.md §13:
+//
+//	POST /v1/infer    {"tenant":"t","priority":"bulk","input":[[...16 floats]]}
+//	GET  /v1/healthz  per-shard serving/draining snapshot (503 when no shard live)
+//	GET  /v1/stats    lifetime counters
+//
+// A background goroutine runs fleet monitoring ticks; SIGINT/SIGTERM drains
+// every shard gracefully (in-flight requests finish, new ones get typed
+// 503s) before the listener stops.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"reramtest/internal/campaign"
+	"reramtest/internal/netserve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 2, "number of serving shards")
+	devices := flag.Int("devices", 3, "accelerators per shard")
+	seed := flag.Int64("seed", 1, "device-initialisation seed")
+	policy := flag.String("policy", "hash", "dispatch policy: hash | least-loaded")
+	quotaRate := flag.Float64("quota-rate", 0, "per-tenant admission rate, batch rows/sec (0 = unlimited)")
+	quotaBurst := flag.Float64("quota-burst", 0, "per-tenant burst, batch rows (0 = rate)")
+	retryMax := flag.Int("retry-max", 1, "max cross-shard retries per request")
+	tickEvery := flag.Duration("tick-every", 5*time.Second, "fleet monitoring tick period (0 disables)")
+	flag.Parse()
+
+	base := campaign.DefaultNetSoakConfig() // the soak's tuned fleet/serve/net knobs
+	ncfg := base.Net
+	ncfg.Quota = netserve.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst}
+	ncfg.RetryMax = *retryMax
+	switch *policy {
+	case "hash":
+		ncfg.Policy = netserve.HashTenant
+	case "least-loaded":
+		ncfg.Policy = netserve.LeastLoaded
+	default:
+		fmt.Fprintf(os.Stderr, "served: unknown -policy %q (want hash or least-loaded)\n", *policy)
+		os.Exit(2)
+	}
+
+	specs := make([]netserve.ShardSpec, *shards)
+	for i := range specs {
+		specs[i] = netserve.ShardSpec{
+			Name:    fmt.Sprintf("shard-%d", i),
+			Devices: campaign.EngineDevices(*seed+int64(i), *devices, fmt.Sprintf("s%d", i)),
+			Fleet:   base.Fleet,
+			Serve:   base.Serve,
+		}
+	}
+	f, err := netserve.New(specs, ncfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "served:", err)
+		os.Exit(1)
+	}
+
+	stopTicks := make(chan struct{})
+	if *tickEvery > 0 {
+		go func() {
+			t := time.NewTicker(*tickEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					f.Tick()
+				case <-stopTicks:
+					return
+				}
+			}
+		}()
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: f.Handler()}
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		s := <-sig
+		fmt.Printf("served: %v — draining %d shard(s)\n", s, *shards)
+		close(stopTicks)
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "served: drain:", cerr)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		st := f.Stats()
+		fmt.Printf("served: drained — received %d, completed %d (degraded %d), admitted==terminal: %v\n",
+			st.Received, st.Completed, st.CompletedDegraded, st.Admitted == st.Terminal())
+	}()
+
+	fmt.Printf("served: %d shard(s) × %d device(s), policy %s, input width %d, listening on %s\n",
+		*shards, *devices, ncfg.Policy, f.InDim(), *addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "served:", err)
+		os.Exit(1)
+	}
+	<-done
+}

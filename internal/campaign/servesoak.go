@@ -189,7 +189,9 @@ func (d *soakDevice) Patterns() *testgen.PatternSet { return d.pats }
 func (d *soakDevice) Repairer() health.Repairer     { return nil }
 func (d *soakDevice) Infer() monitor.Infer {
 	return func(x *tensor.Tensor) *tensor.Tensor {
-		d.chaos.disturb()
+		if d.chaos != nil {
+			d.chaos.disturb()
+		}
 		return d.eng.Probs(x)
 	}
 }

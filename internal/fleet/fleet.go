@@ -494,6 +494,15 @@ func (s *Supervisor) DispatchAvoiding(avoid string) (id string, status monitor.S
 	return s.router.DispatchAvoiding(avoid)
 }
 
+// DispatchAvoidingErr is DispatchAvoiding with a typed refusal: a failed
+// placement returns an error matching ErrNoEligibleDevice explaining whether
+// MinServing shedding, total quarantine or the avoided-candidate rule left
+// the request nowhere to go. The serving frontend maps it into its own
+// sentinel set so both layers' errors stay matchable end to end.
+func (s *Supervisor) DispatchAvoidingErr(avoid string) (id string, status monitor.Status, err error) {
+	return s.router.DispatchAvoidingErr(avoid)
+}
+
 // ReportServingFault feeds one serving-path failure on id — a panic, a
 // poisoned or missing response observed by the inference frontend — into the
 // device's circuit breaker, exactly as a monitoring-round sensor fault
@@ -538,6 +547,21 @@ func (s *Supervisor) Serving() []string {
 	out := make([]string, len(entries))
 	for i, e := range entries {
 		out[i] = e.ID
+	}
+	return out
+}
+
+// Retired returns the IDs permanently withdrawn from service: repair budget
+// exhausted or retirement advised by the strategy ladder. Unlike a
+// quarantine, retirement never heals — a fleet whose every device is retired
+// is starved for good, which is the signal a sharded frontend uses to drain
+// the whole shard instead of waiting for a recovery that cannot come.
+func (s *Supervisor) Retired() []string {
+	var out []string
+	for _, id := range s.order {
+		if s.states[id].retired {
+			out = append(out, id)
+		}
 	}
 	return out
 }

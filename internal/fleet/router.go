@@ -1,10 +1,19 @@
 package fleet
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"reramtest/internal/monitor"
 )
+
+// ErrNoEligibleDevice is the typed refusal the router returns when it has no
+// legal placement for a request: MinServing shedding emptied the schedule, or
+// the only scheduled candidate is the one the caller must avoid. The serving
+// frontend wraps it in its own ErrNoDevices sentinel, so callers can match
+// either layer's error (errors.Is on both holds).
+var ErrNoEligibleDevice = errors.New("fleet: no eligible serving device")
 
 // RouteEntry is one serving-eligible accelerator the supervisor offers the
 // router after a tick: breaker closed, not retired, confirmed status at
@@ -41,6 +50,7 @@ type Router struct {
 	inflight   map[string]int
 	routed     int
 	sheds      int
+	offered    int // serving devices the supervisor offered at the last Update
 }
 
 // NewRouter returns a router that sheds when fewer than minServing devices
@@ -85,6 +95,7 @@ func (r *Router) Update(entries []RouteEntry) {
 			r.schedule = append(r.schedule, e.ID)
 		}
 	}
+	r.offered = serving
 	if serving < r.minServing {
 		// graceful shed: better to reject load than to route it into a fleet
 		// too damaged to answer honestly
@@ -111,6 +122,15 @@ func (r *Router) Dispatch() (id string, status monitor.Status, ok bool) {
 // device; the caller then has no legal second placement and reports a typed
 // error instead of doubling down on the suspect accelerator.
 func (r *Router) DispatchAvoiding(avoid string) (id string, status monitor.Status, ok bool) {
+	id, status, err := r.DispatchAvoidingErr(avoid)
+	return id, status, err == nil
+}
+
+// DispatchAvoidingErr is DispatchAvoiding with a typed refusal: when no legal
+// placement exists it returns an error matching ErrNoEligibleDevice that says
+// why — MinServing shedding emptied the schedule, every serving device is
+// quarantined, or the only candidate is the avoided one.
+func (r *Router) DispatchAvoidingErr(avoid string) (id string, status monitor.Status, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for probe := 0; probe < len(r.schedule); probe++ {
@@ -121,10 +141,19 @@ func (r *Router) DispatchAvoiding(avoid string) (id string, status monitor.Statu
 		}
 		r.inflight[candidate]++
 		r.routed++
-		return candidate, r.status[candidate], true
+		return candidate, r.status[candidate], nil
 	}
 	r.sheds++
-	return "", 0, false
+	switch {
+	case len(r.schedule) == 0 && r.offered < r.minServing:
+		return "", 0, fmt.Errorf("%w: shedding load, %d device(s) serving < MinServing floor %d",
+			ErrNoEligibleDevice, r.offered, r.minServing)
+	case len(r.schedule) == 0:
+		return "", 0, fmt.Errorf("%w: empty dispatch schedule", ErrNoEligibleDevice)
+	default:
+		return "", 0, fmt.Errorf("%w: only candidate %q is excluded from this placement",
+			ErrNoEligibleDevice, avoid)
+	}
 }
 
 // Complete retires one in-flight request from id.

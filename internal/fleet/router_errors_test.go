@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"reramtest/internal/monitor"
+)
+
+// The router's refusals must be typed (ErrNoEligibleDevice) and must say why
+// the placement failed — MinServing shedding, empty schedule or the
+// avoided-candidate rule.
+
+func TestDispatchErrTypedOnMinServingShed(t *testing.T) {
+	r := NewRouter(2)
+	r.Update([]RouteEntry{{ID: "only", Status: monitor.Healthy}})
+
+	_, _, err := r.DispatchAvoidingErr("")
+	if err == nil {
+		t.Fatal("dispatch under MinServing shed returned no error")
+	}
+	if !errors.Is(err, ErrNoEligibleDevice) {
+		t.Fatalf("shed error %v does not match ErrNoEligibleDevice", err)
+	}
+	if !strings.Contains(err.Error(), "MinServing") {
+		t.Fatalf("shed error %q does not name the MinServing floor", err)
+	}
+}
+
+func TestDispatchErrTypedOnAvoidExhaustion(t *testing.T) {
+	r := NewRouter(1)
+	r.Update([]RouteEntry{{ID: "a", Status: monitor.Healthy}})
+
+	_, _, err := r.DispatchAvoidingErr("a")
+	if err == nil {
+		t.Fatal("dispatch avoiding the only candidate returned no error")
+	}
+	if !errors.Is(err, ErrNoEligibleDevice) {
+		t.Fatalf("avoid-exhausted error %v does not match ErrNoEligibleDevice", err)
+	}
+	if !strings.Contains(err.Error(), `"a"`) {
+		t.Fatalf("avoid-exhausted error %q does not name the excluded device", err)
+	}
+
+	// a legal placement still works and the boolean wrapper agrees
+	id, _, ok := r.DispatchAvoiding("")
+	if !ok || id != "a" {
+		t.Fatalf("unavoided dispatch = (%q, %v), want (a, true)", id, ok)
+	}
+}
+
+func TestDispatchErrTypedOnEmptyFleet(t *testing.T) {
+	r := NewRouter(1)
+	r.Update(nil)
+	_, _, err := r.DispatchAvoidingErr("")
+	if !errors.Is(err, ErrNoEligibleDevice) {
+		t.Fatalf("empty-schedule error %v does not match ErrNoEligibleDevice", err)
+	}
+}

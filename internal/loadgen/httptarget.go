@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// HTTPTarget drives a live netserve endpoint over its wire protocol.
+type HTTPTarget struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPTarget points the generator at a serving tier's base URL
+// (e.g. "http://127.0.0.1:8080"). A nil client gets a dedicated one — the
+// per-request context, not a client timeout, bounds each call, so hung
+// detection stays in Run's hands.
+func NewHTTPTarget(base string, client *http.Client) *HTTPTarget {
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	}
+	return &HTTPTarget{base: base, client: client}
+}
+
+// CloseIdle releases kept-alive connections; soaks call it before the
+// goroutine-leak audit.
+func (h *HTTPTarget) CloseIdle() {
+	h.client.CloseIdleConnections()
+}
+
+// Serve posts one request to /v1/infer and classifies the reply.
+func (h *HTTPTarget) Serve(ctx context.Context, req Request) Outcome {
+	prio := "bulk"
+	if req.Monitor {
+		prio = "monitor"
+	}
+	body, err := json.Marshal(map[string]any{
+		"tenant":   req.Tenant,
+		"priority": prio,
+		"input":    req.Input,
+	})
+	if err != nil {
+		return Outcome{Kind: "transport"}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/v1/infer", bytes.NewReader(body))
+	if err != nil {
+		return Outcome{Kind: "transport"}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Deadline-Ms", strconv.Itoa(req.DeadlineMs))
+
+	resp, err := h.client.Do(hreq)
+	if err != nil {
+		// a context expiry here means the tier outlived deadline+grace
+		if errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil {
+			return Outcome{Kind: "hung"}
+		}
+		return Outcome{Kind: "transport"}
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusOK {
+		var ok struct {
+			Degraded bool `json:"degraded"`
+		}
+		if derr := json.NewDecoder(resp.Body).Decode(&ok); derr != nil {
+			return Outcome{Kind: "transport", Code: resp.StatusCode}
+		}
+		return Outcome{Kind: "ok", Code: resp.StatusCode, Degraded: ok.Degraded}
+	}
+	var bad struct {
+		Error string `json:"error"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&bad); derr != nil || bad.Error == "" {
+		bad.Error = fmt.Sprintf("http_%d", resp.StatusCode)
+	}
+	return Outcome{Kind: bad.Error, Code: resp.StatusCode}
+}

@@ -19,7 +19,9 @@ var (
 
 	// ErrNoDevices: the router offered no legal placement — the fleet is
 	// shedding load below its MinServing floor, or every serving device is
-	// quarantined.
+	// quarantined. The error the server returns wraps the router's typed
+	// refusal, so errors.Is(err, fleet.ErrNoEligibleDevice) also holds and
+	// the message carries the router's reason.
 	ErrNoDevices = errors.New("serve: no serving devices")
 
 	// ErrFaulted: every attempt the server was willing to make (the primary

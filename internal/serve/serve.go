@@ -187,6 +187,9 @@ type Server struct {
 	qMon, qBulk chan *pending
 	admitMu     sync.RWMutex // guards closed + the enqueue-vs-close race
 	closed      bool
+	closeOnce   sync.Once
+	closeErr    error
+	drained     Stats // counters frozen at the end of the first Close's drain
 
 	rootCtx context.Context
 	cancel  context.CancelFunc
@@ -364,9 +367,12 @@ func (s *Server) handle(p *pending) {
 			time.Since(p.enq).Round(time.Microsecond), ErrDeadline))
 		return
 	}
-	first, st1, ok := s.sup.DispatchAvoiding("")
-	if !ok {
-		p.finish(Response{}, fmt.Errorf("serve: fleet is shedding load: %w", ErrNoDevices))
+	first, st1, derr := s.sup.DispatchAvoidingErr("")
+	if derr != nil {
+		// both sentinels stay matchable: serve.ErrNoDevices for frontend
+		// callers, fleet.ErrNoEligibleDevice (with the router's reason) for
+		// anyone diagnosing why the fleet had nothing to offer
+		p.finish(Response{}, fmt.Errorf("serve: %w: %w", ErrNoDevices, derr))
 		return
 	}
 	// resCh is buffered for every attempt that could ever write to it, so
@@ -502,6 +508,19 @@ func (s *Server) Quarantined() []string {
 	return s.sup.Quarantined()
 }
 
+// Retired returns the device IDs permanently withdrawn from service. When
+// every device is retired the server is starved for good — the signal a
+// sharded frontend uses to drain this shard and rebalance its tenants.
+func (s *Server) Retired() []string {
+	s.backendMu.Lock()
+	defer s.backendMu.Unlock()
+	return s.sup.Retired()
+}
+
+// Devices returns every commissioned device ID in commissioning order
+// (immutable after construction, so this never contends with the backend).
+func (s *Server) Devices() []string { return s.sup.DeviceIDs() }
+
 // Stats snapshots the lifetime counters.
 func (s *Server) Stats() Stats {
 	return Stats{
@@ -519,18 +538,42 @@ func (s *Server) Stats() Stats {
 
 // Close stops admission, drains every already-admitted request (each one
 // still receives its Response or typed error), waits for all background
-// attempts to land, and returns. Safe to call more than once.
+// attempts to land, and returns. Close is idempotent and safe for concurrent
+// callers: exactly one caller performs the drain, every other call — racing
+// or later — blocks until that drain completes and then returns the first
+// call's result, so no caller can observe a half-drained server or race the
+// queue teardown.
 func (s *Server) Close() error {
-	s.admitMu.Lock()
-	already := s.closed
-	s.closed = true
-	s.admitMu.Unlock()
-	if !already {
+	s.closeOnce.Do(func() {
+		s.admitMu.Lock()
+		s.closed = true
+		s.admitMu.Unlock()
 		s.cancel() // cuts any in-flight tick's backoff sleeps
 		close(s.qMon)
 		close(s.qBulk)
+		s.workerWG.Wait()
+		s.attemptWG.Wait()
+		s.drained = s.Stats()
+	})
+	return s.closeErr
+}
+
+// Drained reports the counters frozen by the first Close's drain and whether
+// the drain has completed. Before Close it returns (Stats{}, false). The
+// snapshot is taken once every queue is emptied and every attempt has landed;
+// a caller that abandoned its request at the deadline may attribute its
+// terminal counter marginally after, so audits of the Admitted==Terminal
+// invariant should read Stats() after all Do callers have returned.
+func (s *Server) Drained() (Stats, bool) {
+	s.admitMu.RLock()
+	closed := s.closed
+	s.admitMu.RUnlock()
+	if !closed {
+		return Stats{}, false
 	}
-	s.workerWG.Wait()
-	s.attemptWG.Wait()
-	return nil
+	// re-enter Close: either the drain already finished (fast path through
+	// the Once) or we block until it has — either way `drained` is stable
+	// after this returns.
+	s.Close()
+	return s.drained, true
 }

@@ -384,6 +384,92 @@ func TestCloseDrainsWithoutLeaks(t *testing.T) {
 	waitFor(t, func() bool { return runtime.NumGoroutine() <= before+2 })
 }
 
+// TestCloseConcurrentCallersShareOneDrain: Close must be idempotent under
+// concurrent callers — exactly one drain runs, every caller (racing or late)
+// blocks until it completes and returns the first call's result, and the
+// drained-counter snapshot is identical for all of them.
+func TestCloseConcurrentCallersShareOneDrain(t *testing.T) {
+	devs := testDevices(2)
+	devs[0].set(func(d *servDevice) { d.delay = 10 * time.Millisecond })
+	s := newServer(t, devs, fleetConfig(), serve.Config{Workers: 2})
+
+	var reqWG sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		reqWG.Add(1)
+		go func(i int) {
+			defer reqWG.Done()
+			s.Do(context.Background(), requestBatch(float64(i)), serve.Bulk)
+		}(i)
+	}
+	waitFor(t, func() bool { return s.Stats().Admitted >= 4 })
+
+	const closers = 8
+	errs := make([]error, closers)
+	snaps := make([]serve.Stats, closers)
+	var closeWG sync.WaitGroup
+	for i := 0; i < closers; i++ {
+		closeWG.Add(1)
+		go func(i int) {
+			defer closeWG.Done()
+			errs[i] = s.Close()
+			snaps[i], _ = s.Drained()
+		}(i)
+	}
+	closeWG.Wait()
+	reqWG.Wait()
+
+	for i := 0; i < closers; i++ {
+		if errs[i] != errs[0] {
+			t.Fatalf("closer %d returned %v, closer 0 returned %v — drain result not shared", i, errs[i], errs[0])
+		}
+		if snaps[i] != snaps[0] {
+			t.Fatalf("closer %d saw drained stats %+v, closer 0 saw %+v", i, snaps[i], snaps[0])
+		}
+	}
+	if _, ok := s.Drained(); !ok {
+		t.Fatal("Drained reports not-closed after Close")
+	}
+	if st := s.Stats(); st.Admitted != st.Terminal() {
+		t.Fatalf("drain left silent drops: %+v", st)
+	}
+}
+
+// TestDrainedBeforeClose: Drained on a live server reports ok=false and must
+// not itself trigger a drain.
+func TestDrainedBeforeClose(t *testing.T) {
+	s := newServer(t, testDevices(1), fleetConfig(), serve.Config{})
+	defer s.Close()
+	if _, ok := s.Drained(); ok {
+		t.Fatal("Drained reported a drain on a live server")
+	}
+	if _, err := s.Do(context.Background(), requestBatch(1), serve.Bulk); err != nil {
+		t.Fatalf("server stopped serving after Drained probe: %v", err)
+	}
+}
+
+// TestNoDevicesCarriesFleetSentinel: the ErrNoDevices the server surfaces
+// must wrap the router's typed ErrNoEligibleDevice so both layers' sentinels
+// match the same error.
+func TestNoDevicesCarriesFleetSentinel(t *testing.T) {
+	devs := testDevices(1)
+	devs[0].set(func(d *servDevice) { d.crash = true })
+	fcfg := fleetConfig()
+	fcfg.BreakerOpenAfter = 2
+	s := newServer(t, devs, fcfg, serve.Config{})
+	defer s.Close()
+
+	for i := 0; i < 2; i++ { // trip the breaker via serving faults
+		s.Do(context.Background(), requestBatch(1), serve.Bulk)
+	}
+	_, err := s.Do(context.Background(), requestBatch(1), serve.Bulk)
+	if !errors.Is(err, serve.ErrNoDevices) {
+		t.Fatalf("starved fleet returned %v, want ErrNoDevices", err)
+	}
+	if !errors.Is(err, fleet.ErrNoEligibleDevice) {
+		t.Fatalf("ErrNoDevices %v does not wrap fleet.ErrNoEligibleDevice", err)
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if err := (serve.Config{Workers: -1}).Validate(); err == nil {
 		t.Fatal("negative Workers validated")
