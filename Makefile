@@ -26,7 +26,8 @@ RACE_PKGS = ./internal/health/... ./internal/campaign/... ./internal/monitor/...
             ./internal/detect/... ./internal/stats/... ./internal/repair/... \
             ./internal/fleet/... ./internal/journal/... ./internal/engine/... \
             ./internal/tensor/... ./internal/serve/... ./internal/tengine/... \
-            ./internal/netserve/... ./internal/loadgen/...
+            ./internal/netserve/... ./internal/loadgen/... \
+            ./internal/reram/... ./internal/hwcost/...
 
 .PHONY: check vet build test race-fast race soak-smoke soak \
         fleet-soak-smoke fleet-soak serve-soak-smoke serve-soak \
@@ -107,10 +108,12 @@ net-soak:
 fuzz-short:
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzDecodeAll -fuzztime=10s
 
-# performance gate on the batch-first inference AND training engines: the
-# batched monitor readout must stay bit-identical to the serial path, the
-# engine training step must land on bit-identical weights across the legacy,
-# serial-engine and pooled-engine arms, both must beat the legacy path by the
-# committed ratios, and both must allocate nothing in steady state
+# performance gate on the batch-first inference AND training engines, plus
+# the hardware cost accounting layer: the batched monitor readout must stay
+# bit-identical to the serial path, the engine training step must land on
+# bit-identical weights across the legacy, serial-engine and pooled-engine
+# arms, metering must be numerically invisible (metered accelerator
+# bit-identical to an unmetered twin) with a zero-allocation counting hot
+# path, and every path must beat its committed baseline ratio
 bench-smoke:
 	$(GO) run ./cmd/benchsmoke

@@ -34,6 +34,7 @@ import (
 	"reramtest/internal/models"
 	"reramtest/internal/nn"
 	"reramtest/internal/opt"
+	"reramtest/internal/reram"
 	"reramtest/internal/rng"
 	"reramtest/internal/tengine"
 	"reramtest/internal/tensor"
@@ -60,6 +61,14 @@ type Baseline struct {
 	// HardenMaxAllocsPerOp caps steady-state heap allocations per masked
 	// drop-connect training step (DropConnect.Step + fused StepAndZero).
 	HardenMaxAllocsPerOp float64 `json:"harden_max_allocs_per_op"`
+	// CostMinRatio is the minimum unmetered-over-metered wall-time ratio for
+	// one analog inference pass: hardware cost accounting rides the tile hot
+	// path, so a metered pass must stay within a bounded factor of an
+	// unmetered one (0.70 means metering may cost at most ~1.43×).
+	CostMinRatio float64 `json:"cost_min_ratio"`
+	// CostMaxAllocsPerOp caps steady-state heap allocations of the counting
+	// hot path itself (Counter.ChargeClass + Snapshot). The contract is zero.
+	CostMaxAllocsPerOp float64 `json:"cost_max_allocs_per_op"`
 }
 
 // Report is one emitted perf-trajectory record (BENCH_infer.json /
@@ -114,6 +123,9 @@ func main() {
 		failed = true
 	}
 	if !hardenGate(base, *jsonDir) {
+		failed = true
+	}
+	if !costGate(base, *jsonDir) {
 		failed = true
 	}
 	if failed {
@@ -395,6 +407,86 @@ func hardenGate(base Baseline, jsonDir string) bool {
 	}
 	if allocs > base.HardenMaxAllocsPerOp {
 		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL harden %.0f allocs/op above baseline %.0f\n", allocs, base.HardenMaxAllocsPerOp)
+		ok = false
+	}
+	return ok
+}
+
+// costGate guards the hardware cost accounting layer: metering must be
+// numerically invisible (a metered accelerator's analog outputs and readout
+// weights bit-identical to an unmetered twin's), the counting hot path must
+// allocate nothing in steady state, and a metered inference pass must stay
+// within the baseline's bounded factor of an unmetered one.
+func costGate(base Baseline, jsonDir string) bool {
+	const patterns, in, classes = 16, 16, 6
+	cfg := reram.DefaultConfig()
+	cfg.TileRows, cfg.TileCols = 16, 16
+	cfg.Device.ProgramSigma = 0.03
+	build := func() *reram.Accelerator {
+		return reram.NewAccelerator(models.MLP(rng.New(7), in, []int{24, 16}, classes), cfg, 55)
+	}
+	metered, plain := build(), build()
+	plain.SetCounter(nil)
+	x := tensor.RandUniform(rng.New(8), 0, 1, patterns, in)
+
+	// hard gate first: attaching a counter must not move a single output bit
+	// on the analog path or the weight-level readout
+	if !metered.Infer(x).Equal(plain.Infer(x)) {
+		fmt.Fprintln(os.Stderr, "benchsmoke: FAIL metered analog inference is not bit-identical to unmetered")
+		return false
+	}
+	mp, pp := metered.RefreshReadout().Params(), plain.RefreshReadout().Params()
+	for i := range mp {
+		if !mp[i].Value.Equal(pp[i].Value) {
+			fmt.Fprintf(os.Stderr, "benchsmoke: FAIL metered readout param %s is not bit-identical to unmetered\n", mp[i].Name)
+			return false
+		}
+	}
+	if metered.Counter().Snapshot().Total().IsZero() {
+		fmt.Fprintln(os.Stderr, "benchsmoke: FAIL metered accelerator charged nothing")
+		return false
+	}
+
+	// the counting hot path itself: charge + snapshot, zero allocations
+	ctr := reram.NewCounter()
+	unit := reram.Cost{ComputeCycles: 1, DACConversions: 2, ADCConversions: 3,
+		CrossbarReads: 4, CrossbarWrites: 5, EnergyFJ: 6, BufferBytes: 7}
+	allocs := testing.AllocsPerRun(100, func() {
+		ctr.ChargeClass(reram.ClassMonitor, unit)
+		_ = ctr.Snapshot()
+	})
+
+	// timing arms: the same analog inference with the meter on and off
+	plain.Infer(x) // warm the workspaces so the timed loops are steady state
+	metered.Infer(x)
+	plainRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plain.Infer(x)
+		}
+	})
+	meteredRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			metered.Infer(x)
+		}
+	})
+
+	ratio := float64(plainRes.NsPerOp()) / float64(meteredRes.NsPerOp())
+	fmt.Printf("benchsmoke: cost unmetered %d ns/op, metered %d ns/op, ratio %.2fx (min %.2fx), charge allocs/op %.0f (max %.0f)\n",
+		plainRes.NsPerOp(), meteredRes.NsPerOp(), ratio, base.CostMinRatio, allocs, base.CostMaxAllocsPerOp)
+	writeReport(jsonDir, "BENCH_cost.json", Report{
+		Workload:      fmt.Sprintf("MLP 16-[24 16]-6 on 16×16 tiles, %d-pattern analog pass, metered vs unmetered", patterns),
+		LegacyNsPerOp: plainRes.NsPerOp(), EngineNsPerOp: meteredRes.NsPerOp(),
+		Speedup: ratio, AllocsPerOp: allocs,
+		MinSpeedup: base.CostMinRatio, MaxAllocsOp: base.CostMaxAllocsPerOp,
+	})
+
+	ok := true
+	if ratio < base.CostMinRatio {
+		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL metering overhead ratio %.2fx below baseline %.2fx\n", ratio, base.CostMinRatio)
+		ok = false
+	}
+	if allocs > base.CostMaxAllocsPerOp {
+		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL cost charge path %.0f allocs/op above baseline %.0f\n", allocs, base.CostMaxAllocsPerOp)
 		ok = false
 	}
 	return ok

@@ -51,10 +51,12 @@ import (
 	"reramtest/internal/campaign"
 	"reramtest/internal/engine"
 	"reramtest/internal/experiments"
+	"reramtest/internal/health"
 	"reramtest/internal/monitor"
 	"reramtest/internal/nn"
 	"reramtest/internal/repair"
 	"reramtest/internal/reram"
+	"reramtest/internal/rng"
 	"reramtest/internal/tensor"
 )
 
@@ -67,6 +69,7 @@ func main() {
 	lifetimeSoak := flag.Bool("lifetime-soak", false, "run the three-arm repair-ladder lifetime soak instead of the demo")
 	serveSoak := flag.Bool("serve-soak", false, "run the serving-frontend chaos soak instead of the demo")
 	netSoak := flag.Bool("net-soak", false, "run the network-tier chaos soak instead of the demo")
+	cost := flag.Bool("cost", false, "run a plant-scale workload and print the per-class hardware cost breakdown")
 	netRequests := flag.Int("net-requests", 0, "net-soak: requests per campaign (0 = smoke default)")
 	campaigns := flag.Int("campaigns", 20, "soak: number of seeded campaigns")
 	rounds := flag.Int("rounds", 40, "soak: monitoring rounds per campaign")
@@ -86,6 +89,9 @@ func main() {
 	}
 	if *netSoak {
 		os.Exit(runNetSoak(*seed, *campaigns, *netRequests))
+	}
+	if *cost {
+		os.Exit(runCost(*seed, *rounds))
 	}
 	if *soak {
 		os.Exit(runSoak(*seed, *campaigns, *rounds, *minRecovery))
@@ -162,6 +168,72 @@ func main() {
 	}
 	slope, summary := mon.Trend()
 	fmt.Printf("\ndistance trend: slope=%.5f per round, %s\n", slope, summary)
+}
+
+// runCost drives one plant through a serving + monitoring + repair lifetime
+// and prints the accumulated hardware cost split by attribution class — the
+// telemetry the fleet journals per device and /statsz serves per tier. Rounds
+// of serving traffic interleave with concurrent-test checks; stuck-at faults
+// land mid-life so a repair episode runs and its measured (not sticker) cost
+// shows up under the repair class.
+func runCost(seed int64, rounds int) int {
+	pcfg := campaign.DefaultPlantConfig()
+	p := campaign.NewPlant(seed, pcfg)
+	ctr := p.CostCounter()
+	mon, err := monitor.New(p.Reference(), p.Patterns(), nil, monitor.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cost:", err)
+		return 1
+	}
+	rt, err := health.New(mon, campaign.DefaultConfig().Health)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cost:", err)
+		return 1
+	}
+	rt.SetCostCounter(ctr)
+
+	fmt.Printf("cost meter: MLP %d→%v→%d on %d×%d tiles, %d rounds, seed %d\n",
+		pcfg.In, pcfg.Hidden, pcfg.Classes, pcfg.Tile, pcfg.Tile, rounds, seed)
+	traffic := tensor.RandUniform(rng.New(seed+1), 0, 1, 32, pcfg.In)
+	var episodes []health.Episode
+	for r := 1; r <= rounds; r++ {
+		p.SetRound(r)
+		p.BaseInfer()(traffic) // serving traffic (default class)
+		rt.Check(p.Infer())    // concurrent test (monitor class)
+		p.Accelerator().AdvanceTime(200)
+		if r == rounds/2 {
+			fmt.Printf("round %d: injecting stuck-at faults (0.8%% SA0, 0.4%% SA1)\n", r)
+			p.Accelerator().InjectStuckAt(0.008, 0.004)
+		}
+		if rt.Confirmed() >= monitor.Impaired {
+			ep := rt.Supervise(p.Infer(), p)
+			episodes = append(episodes, ep)
+			fmt.Printf("round %d: repair episode, %d attempt(s), recovered=%v\n",
+				r, len(ep.Attempts), ep.Recovered)
+		}
+	}
+
+	b := ctr.Snapshot()
+	fmt.Printf("\n%-10s %14s %12s %12s %14s %14s %16s %14s\n", "class",
+		"cycles", "DAC", "ADC", "xbar reads", "xbar writes", "energy (fJ)", "buffer B")
+	row := func(name string, c reram.Cost) {
+		fmt.Printf("%-10s %14d %12d %12d %14d %14d %16d %14d\n", name,
+			c.ComputeCycles, c.DACConversions, c.ADCConversions,
+			c.CrossbarReads, c.CrossbarWrites, c.EnergyFJ, c.BufferBytes)
+	}
+	row("serving", b.Serving)
+	row("monitor", b.Monitor)
+	row("repair", b.Repair)
+	row("total", b.Total())
+	for i, ep := range episodes {
+		fmt.Printf("\nepisode %d: sticker %d budget unit(s), measured %d cycles / %d fJ\n",
+			i+1, ep.CostSpent, ep.Measured.ComputeCycles, ep.Measured.EnergyFJ)
+	}
+	if b.Total().IsZero() {
+		fmt.Fprintln(os.Stderr, "\ncost: metered workload accumulated zero cost")
+		return 1
+	}
+	return 0
 }
 
 // runSoak executes the seeded campaign fleet and prints the scorecard.

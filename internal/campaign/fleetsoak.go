@@ -25,6 +25,7 @@ import (
 	"reramtest/internal/journal"
 	"reramtest/internal/monitor"
 	"reramtest/internal/nn"
+	"reramtest/internal/reram"
 	"reramtest/internal/rng"
 	"reramtest/internal/testgen"
 )
@@ -41,6 +42,11 @@ func (d fleetDevice) Infer() monitor.Infer          { return d.plant.Infer() }
 func (d fleetDevice) Repairer() health.Repairer     { return d.plant }
 func (d fleetDevice) Reference() *nn.Network        { return d.plant.Reference() }
 func (d fleetDevice) Patterns() *testgen.PatternSet { return d.plant.Patterns() }
+
+// CostCounter implements fleet.CostMetered: the supervisor journals the
+// plant's cumulative per-class spend each tick and restores it on resume, so
+// cost survives supervisor crashes the same way hysteresis state does.
+func (d fleetDevice) CostCounter() *reram.Counter { return d.plant.CostCounter() }
 
 // FleetSoakConfig parameterises one fleet campaign.
 type FleetSoakConfig struct {

@@ -31,6 +31,7 @@ import (
 	"reramtest/internal/loadgen"
 	"reramtest/internal/monitor"
 	"reramtest/internal/netserve"
+	"reramtest/internal/reram"
 	"reramtest/internal/rng"
 	"reramtest/internal/serve"
 )
@@ -105,6 +106,11 @@ type NetSoakResult struct {
 
 	Stats netserve.Stats // the chaos tier's final counters
 
+	// Cost is the chaos tier's own response-granular hardware-cost ledger
+	// (per tenant, per shard, fleet total); the cost gates reconcile it
+	// against itself and against the client-observed spend in Chaos.Cost.
+	Cost netserve.CostStats
+
 	// gate inputs
 	Hung          int   // wire calls that outlived deadline+grace
 	SilentDrops   int64 // admitted - terminal in the tier's accounting
@@ -148,7 +154,46 @@ func (r NetSoakResult) Failures() []string {
 	if r.Stats.Drains == 0 {
 		fails = append(fails, "chaos pass recorded no shard drain")
 	}
+	// cost-ledger reconciliation: the tier accumulates tenant, shard and
+	// fleet totals from the same response stream, so the sums must agree
+	// exactly — any gap means a response was costed in one ledger and not
+	// another
+	var tenantSum, shardSum reram.Cost
+	for _, c := range r.Cost.Tenants {
+		tenantSum.Add(c)
+	}
+	for _, c := range r.Cost.Shards {
+		shardSum.Add(c)
+	}
+	if tenantSum != r.Cost.Fleet {
+		fails = append(fails, fmt.Sprintf("cost ledger: Σ tenants %+v ≠ fleet %+v", tenantSum, r.Cost.Fleet))
+	}
+	if shardSum != r.Cost.Fleet {
+		fails = append(fails, fmt.Sprintf("cost ledger: Σ shards %+v ≠ fleet %+v", shardSum, r.Cost.Fleet))
+	}
+	if r.Chaos.OK > 0 && r.Cost.Fleet.IsZero() {
+		fails = append(fails, "metered tier completed requests but reported zero hardware cost")
+	}
+	// the client sums the cost field of every decoded ok body; each such body
+	// is a response the tier also costed, so the client-observed ledger can
+	// never exceed the tier's (it may trail it: answers the client abandoned
+	// past its own deadline still ran on silicon)
+	if !costWithin(r.Chaos.Cost, r.Cost.Fleet) {
+		fails = append(fails, fmt.Sprintf("client-observed cost %+v exceeds the tier's fleet ledger %+v",
+			r.Chaos.Cost, r.Cost.Fleet))
+	}
 	return fails
+}
+
+// costWithin reports a ≤ b in every dimension.
+func costWithin(a, b reram.Cost) bool {
+	return a.ComputeCycles <= b.ComputeCycles &&
+		a.DACConversions <= b.DACConversions &&
+		a.ADCConversions <= b.ADCConversions &&
+		a.CrossbarReads <= b.CrossbarReads &&
+		a.CrossbarWrites <= b.CrossbarWrites &&
+		a.EnergyFJ <= b.EnergyFJ &&
+		a.BufferBytes <= b.BufferBytes
 }
 
 // RunNetSoak executes one seeded network chaos campaign: a clean baseline
@@ -181,6 +226,7 @@ func RunNetSoak(seed int64, cfg NetSoakConfig) (NetSoakResult, error) {
 	res.Baseline = baseline.report
 	res.Chaos = chaos.report
 	res.Stats = chaos.stats
+	res.Cost = chaos.costs
 	res.Hung = chaos.report.Hung
 	res.SilentDrops = int64(chaos.stats.Admitted) - int64(chaos.stats.Terminal())
 	res.AccountingGap = int64(chaos.stats.Received) -
@@ -205,6 +251,7 @@ func RunNetSoak(seed int64, cfg NetSoakConfig) (NetSoakResult, error) {
 type netPassTrace struct {
 	report      loadgen.Report
 	stats       netserve.Stats
+	costs       netserve.CostStats
 	postDrainOK int
 	leaked      int
 }
@@ -287,7 +334,8 @@ func runNetPass(seed int64, cfg NetSoakConfig, chaosOn bool) (netPassTrace, erro
 		return tr, err
 	}
 	tickWG.Wait()
-	tr.report = mergeReports(rep1, rep2)
+	tr.report = rep1
+	tr.report.Merge(rep2)
 	tr.postDrainOK = rep2.OK
 
 	// teardown in dependency order: tier first (drains shards), then the
@@ -307,6 +355,7 @@ func runNetPass(seed int64, cfg NetSoakConfig, chaosOn bool) (netPassTrace, erro
 	}
 	target.CloseIdle()
 	tr.stats = f.Stats()
+	tr.costs = f.CostStats()
 
 	settle := time.Now().Add(2 * time.Second)
 	for runtime.NumGoroutine() > goroutinesBefore && time.Now().Before(settle) {
@@ -316,36 +365,4 @@ func runNetPass(seed int64, cfg NetSoakConfig, chaosOn bool) (netPassTrace, erro
 		tr.leaked = extra
 	}
 	return tr, nil
-}
-
-// mergeReports pools two campaign segments into one report.
-func mergeReports(a, b loadgen.Report) loadgen.Report {
-	out := a
-	out.Sent += b.Sent
-	out.OK += b.OK
-	out.Degraded += b.Degraded
-	out.Hung += b.Hung
-	out.Transport += b.Transport
-	out.Untyped += b.Untyped
-	out.Storms += b.Storms
-	out.ByKind = make(map[string]int, len(a.ByKind)+len(b.ByKind))
-	out.ByTenant = make(map[string]int, len(a.ByTenant)+len(b.ByTenant))
-	for k, n := range a.ByKind {
-		out.ByKind[k] += n
-	}
-	for k, n := range b.ByKind {
-		out.ByKind[k] += n
-	}
-	for k, n := range a.ByTenant {
-		out.ByTenant[k] += n
-	}
-	for k, n := range b.ByTenant {
-		out.ByTenant[k] += n
-	}
-	out.Latencies = append(append([]time.Duration(nil), a.Latencies...), b.Latencies...)
-	out.Elapsed = a.Elapsed + b.Elapsed
-	if secs := out.Elapsed.Seconds(); secs > 0 {
-		out.Throughput = float64(out.Sent) / secs
-	}
-	return out
 }

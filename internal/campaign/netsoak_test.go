@@ -98,6 +98,8 @@ func TestNetSoakGateDetectsHungTier(t *testing.T) {
 }
 
 func TestMergeReportsPoolsSegments(t *testing.T) {
+	// the soak now folds segments through loadgen's exported Report.Merge;
+	// this keeps the pooling contract pinned from the campaign side
 	a := loadgen.Report{Sent: 10, OK: 8, Hung: 1, Storms: 1,
 		ByKind: map[string]int{"ok": 8, "hung": 1, "deadline": 1},
 		ByTenant: map[string]int{"t": 10},
@@ -105,7 +107,8 @@ func TestMergeReportsPoolsSegments(t *testing.T) {
 	b := loadgen.Report{Sent: 5, OK: 5,
 		ByKind: map[string]int{"ok": 5}, ByTenant: map[string]int{"u": 5},
 		Latencies: []time.Duration{2 * time.Millisecond}, Elapsed: time.Second}
-	m := mergeReports(a, b)
+	m := a
+	m.Merge(b)
 	if m.Sent != 15 || m.OK != 13 || m.Hung != 1 || m.Storms != 1 {
 		t.Fatalf("merged counts wrong: %+v", m)
 	}

@@ -228,6 +228,12 @@ type Plant struct {
 	glitchMode             GlitchMode
 	glitchFrom, glitchUpto int // active round window [from, upto)
 
+	// counter is the plant's lifetime hardware-cost meter. It is the plant's
+	// own, not the accelerator's default: a module replacement swaps the
+	// accelerator but the device's cost history spans parts, so the counter
+	// re-attaches to every new accelerator and to the readout engine.
+	counter *reram.Counter
+
 	// eng is the compiled inference plan over the accelerator's cached
 	// readout network; every monitored readout and fidelity probe reuses its
 	// workspaces. It rebinds (or recompiles) when a module replacement swaps
@@ -243,10 +249,16 @@ func NewPlant(seed int64, cfg PlantConfig) *Plant {
 	// own clone of the shared template model: Forward passes use per-layer
 	// scratch buffers, so concurrent plants (parallel campaigns, fleet
 	// ticks) must never route through one shared instance
-	p := &Plant{cfg: cfg, tmpl: tmpl, ref: tmpl.clean.Clone(), r: rng.New(seed)}
+	p := &Plant{cfg: cfg, tmpl: tmpl, ref: tmpl.clean.Clone(), r: rng.New(seed),
+		counter: reram.NewCounter()}
 	p.accel = reram.NewAccelerator(p.ref, p.reramConfig(), p.r.Int63())
+	p.accel.SetCounter(p.counter)
 	return p
 }
+
+// CostCounter implements fleet.CostMetered: the plant's lifetime hardware
+// spend, surviving module replacements and readout-engine recompiles.
+func (p *Plant) CostCounter() *reram.Counter { return p.counter }
 
 func (p *Plant) reramConfig() reram.Config {
 	rc := reram.DefaultConfig()
@@ -320,7 +332,7 @@ func (p *Plant) glitchActive() bool {
 func (p *Plant) readoutEngine() *engine.Engine {
 	ro := p.accel.RefreshReadout()
 	if p.eng == nil || p.eng.Rebind(ro) != nil {
-		p.eng = engine.MustCompile(ro, engine.Options{})
+		p.eng = engine.MustCompile(ro, engine.Options{Counter: p.counter})
 	}
 	return p.eng
 }
@@ -411,6 +423,12 @@ func (p *Plant) Apply(action repair.Action) (*nn.Network, error) {
 		// clean weights (cloned — the template stays shared and immutable)
 		p.ref = p.tmpl.clean.Clone()
 		p.accel = reram.NewAccelerator(p.ref, p.reramConfig(), p.r.Int63())
+		p.accel.SetCounter(p.counter) // cost history spans the replacement
+		// unlike fab-time commissioning, programming a replacement part in
+		// the field is repair work the fleet pays for: charge the full write
+		// pass to the repair class (integer bookkeeping only — device state
+		// and numerics are untouched)
+		p.counter.ChargeClass(reram.ClassRepair, p.accel.CommissionCost())
 		return p.ref, nil
 	default:
 		return nil, fmt.Errorf("campaign: unknown repair action %v", action)

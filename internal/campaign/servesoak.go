@@ -30,6 +30,7 @@ import (
 	"reramtest/internal/models"
 	"reramtest/internal/monitor"
 	"reramtest/internal/nn"
+	"reramtest/internal/reram"
 	"reramtest/internal/rng"
 	"reramtest/internal/serve"
 	"reramtest/internal/tensor"
@@ -187,6 +188,9 @@ func (d *soakDevice) ID() string                    { return d.id }
 func (d *soakDevice) Reference() *nn.Network        { return d.net }
 func (d *soakDevice) Patterns() *testgen.PatternSet { return d.pats }
 func (d *soakDevice) Repairer() health.Repairer     { return nil }
+
+// CostCounter implements fleet.CostMetered via the compiled engine's meter.
+func (d *soakDevice) CostCounter() *reram.Counter { return d.eng.Counter() }
 func (d *soakDevice) Infer() monitor.Infer {
 	return func(x *tensor.Tensor) *tensor.Tensor {
 		if d.chaos != nil {

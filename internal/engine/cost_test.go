@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"testing"
+
+	"reramtest/internal/models"
+	"reramtest/internal/reram"
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+// TestEngineChargesPerSample: a compiled plan charges exactly
+// PlanCost × batch size per forward pass, into the class the counter's owner
+// selected.
+func TestEngineChargesPerSample(t *testing.T) {
+	net := models.MLP(rng.New(41), 16, []int{24, 16}, 6)
+	ctr := reram.NewCounter()
+	eng := MustCompile(net, Options{Counter: ctr})
+	if eng.Counter() != ctr {
+		t.Fatal("engine ignored the supplied counter")
+	}
+	per := eng.PlanCost()
+	if per.IsZero() || per.DACConversions == 0 || per.CrossbarReads == 0 {
+		t.Fatalf("implausible plan cost %+v", per)
+	}
+
+	x := tensor.RandUniform(rng.New(42), 0, 1, 5, 16)
+	eng.ForwardBatch(nil, x)
+	if got := ctr.Snapshot().Serving; got != per.Scale(5) {
+		t.Fatalf("5-sample batch charged %+v, want %+v", got, per.Scale(5))
+	}
+
+	prev := ctr.SetClass(reram.ClassMonitor)
+	eng.Probs(tensor.FromSlice(x.Data()[:2*16], 2, 16))
+	ctr.SetClass(prev)
+	snap := ctr.Snapshot()
+	if snap.Monitor != per.Scale(2) {
+		t.Fatalf("monitor-class batch charged %+v, want %+v", snap.Monitor, per.Scale(2))
+	}
+	if snap.Serving != per.Scale(5) {
+		t.Fatal("monitor-class batch leaked into serving")
+	}
+}
+
+// TestRebindPreservesCost is the Rebind accounting regression: re-binding a
+// plan to refreshed parameters (the fault-model sweep's per-round readout
+// swap) must neither reset the cumulative counter nor re-charge work already
+// accounted — spend accrued before the swap survives, and the per-sample rate
+// after the swap is unchanged.
+func TestRebindPreservesCost(t *testing.T) {
+	net := models.MLP(rng.New(51), 16, []int{24, 16}, 6)
+	eng := MustCompile(net, Options{})
+	ctr := eng.Counter() // default: engine made its own
+	per := eng.PlanCost()
+	x := tensor.RandUniform(rng.New(52), 0, 1, 3, 16)
+
+	eng.ForwardBatch(nil, x)
+	before := ctr.Snapshot()
+	if before.Total() != per.Scale(3) {
+		t.Fatalf("pre-rebind charge %+v, want %+v", before.Total(), per.Scale(3))
+	}
+
+	clone := net.Clone()
+	for _, p := range clone.Params() {
+		p.Value.ScaleInPlace(0.5)
+	}
+	if err := eng.Rebind(clone); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	if eng.Counter() != ctr {
+		t.Fatal("rebind swapped the counter")
+	}
+	if got := ctr.Snapshot(); got != before {
+		t.Fatalf("rebind itself charged or reset: %+v vs %+v", got, before)
+	}
+	if eng.PlanCost() != per {
+		t.Fatal("rebind changed the per-sample plan cost of an identical architecture")
+	}
+
+	// a failed rebind must also leave the meter untouched
+	if err := eng.Rebind(models.MLP(rng.New(53), 16, []int{25, 16}, 6)); err == nil {
+		t.Fatal("rebind accepted a mismatched architecture")
+	}
+	if got := ctr.Snapshot(); got != before {
+		t.Fatal("rejected rebind perturbed the meter")
+	}
+
+	eng.ForwardBatch(nil, x)
+	if got := ctr.Snapshot().Total(); got != per.Scale(6) {
+		t.Fatalf("post-rebind cumulative %+v, want %+v (no reset, no double-count)", got, per.Scale(6))
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"reramtest/internal/nn"
+	"reramtest/internal/reram"
 	"reramtest/internal/tensor"
 )
 
@@ -37,6 +38,17 @@ type Options struct {
 	// Pool supplies the worker pool. nil selects tensor.SharedPool(), which
 	// degrades to inline execution on a single-core host.
 	Pool *tensor.Pool
+	// Counter receives the plan's modeled hardware cost: each ForwardBatch
+	// charges N × PlanCost() into it (one call, zero allocations, numerically
+	// invisible — counters are integers off the float64 path). nil allocates
+	// a fresh counter, so an engine is always metered; pass the device's
+	// counter to pool spend with the analog path, and pass the SAME counter
+	// across Rebind/recompile cycles so cumulative spend survives fault-model
+	// sweeps and accelerator replacement.
+	Counter *reram.Counter
+	// CostModel supplies the crossbar organisation the per-sample cost is
+	// modeled against. The zero value selects reram.DefaultConfig().
+	CostModel reram.Config
 }
 
 // step is one compiled compute layer: its kernel, its workspace, and the
@@ -69,6 +81,9 @@ type Engine struct {
 	probsBuf []float64
 	probs    *tensor.Tensor
 	probsN   int
+
+	counter   *reram.Counter // never nil after Compile
+	perSample reram.Cost     // modeled hardware cost of one sample
 }
 
 // Compile builds an execution plan for net. It fails if a layer neither
@@ -108,6 +123,17 @@ func Compile(net *nn.Network, opts Options) (*Engine, error) {
 		shape, vol = outShape, outVol
 	}
 	e.outVol = vol
+	e.counter = opts.Counter
+	if e.counter == nil {
+		e.counter = reram.NewCounter()
+	}
+	costCfg := opts.CostModel
+	if costCfg.TileRows <= 0 || costCfg.TileCols <= 0 {
+		costCfg = reram.DefaultConfig()
+	}
+	for _, s := range e.steps {
+		e.perSample.Add(reram.ModelLayerCost(s.layer, s.inVol, s.outVol, costCfg))
+	}
 	if opts.MaxBatch > 0 {
 		e.setBatch(opts.MaxBatch)
 	}
@@ -132,6 +158,14 @@ func (e *Engine) InDim() int { return e.inDim }
 
 // OutDim returns the flattened per-sample output size.
 func (e *Engine) OutDim() int { return e.outVol }
+
+// PlanCost returns the modeled per-sample hardware cost of the compiled
+// plan (see Options.CostModel). Rebind does not change it: the plan's
+// architecture — the only cost input — is invariant across rebinds.
+func (e *Engine) PlanCost() reram.Cost { return e.perSample }
+
+// Counter returns the counter the plan charges; never nil.
+func (e *Engine) Counter() *reram.Counter { return e.counter }
 
 // Rebind points the compiled plan at another network with the same
 // architecture (typically a clone of the original with different weights:
@@ -214,6 +248,7 @@ func (e *Engine) ForwardBatch(dst, x *tensor.Tensor) *tensor.Tensor {
 	tensor.AssertDims("engine.ForwardBatch x", x, tensor.Wildcard, e.inDim)
 	n := x.Dim(0)
 	e.setBatch(n)
+	e.counter.Charge(e.perSample.Scale(uint64(n)))
 	cur := x
 	for _, s := range e.steps {
 		s.in = cur

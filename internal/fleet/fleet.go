@@ -22,6 +22,7 @@ import (
 	"reramtest/internal/journal"
 	"reramtest/internal/monitor"
 	"reramtest/internal/nn"
+	"reramtest/internal/reram"
 	"reramtest/internal/testgen"
 )
 
@@ -49,6 +50,16 @@ type Device interface {
 	Patterns() *testgen.PatternSet
 }
 
+// CostMetered is the optional Device facet exposing the hardware cost
+// counter the device's engines charge. When a device implements it, the
+// supervisor attaches the counter to the device's health runtime (so readout
+// and repair work land in the right attribution classes), journals its
+// snapshot in every tick record, restores it on Resume, and feeds per-tick
+// spend rates to the cost-aware router.
+type CostMetered interface {
+	CostCounter() *reram.Counter
+}
+
 // Config tunes the fleet supervisor.
 type Config struct {
 	// Workers bounds the tick worker pool (0 → min(4, fleet size)).
@@ -73,6 +84,11 @@ type Config struct {
 	// MinServing is the load-shedding floor: the router refuses to dispatch
 	// when fewer devices serve (0 → 1).
 	MinServing int
+	// CostAwareRouting switches the router to the composite placement score:
+	// health weight plus a bonus for devices spending at or below the fleet
+	// median energy and cycle rates since the last schedule rebuild. Off, the
+	// router uses pure health-weighted round-robin (the historical behaviour).
+	CostAwareRouting bool
 }
 
 // DefaultConfig returns fleet-reasonable parameters over the default
@@ -139,6 +155,14 @@ type deviceState struct {
 	breaker   Breaker
 	retired   bool
 	decisions []RepairDecision // most recent maxDecisionLog strategy choices
+
+	// counter is the device's cost counter when it is CostMetered (nil
+	// otherwise); lastCost is its total at the previous schedule rebuild and
+	// lastRate the spend between the last two rebuilds — the router's
+	// placement signal.
+	counter  *reram.Counter
+	lastCost reram.Cost
+	lastRate reram.Cost
 }
 
 // logDecision appends one repair decision, keeping only the newest
@@ -267,6 +291,9 @@ func Resume(devices []Device, cfg Config, jw *journal.Writer, payloads [][]byte)
 		ds.breaker = snap.Breaker
 		ds.retired = snap.Retired
 		ds.decisions = append([]RepairDecision(nil), snap.Decisions...)
+		// the journaled spend is the durable truth: charges after the last
+		// group commit died with the crash, exactly like every other field
+		ds.counter.Restore(snap.Cost)
 	}
 	s.router.Update(s.servingEntries())
 	return s, nil
@@ -294,6 +321,7 @@ func build(devices []Device, cfg Config, jw *journal.Writer) (*Supervisor, error
 		states: make(map[string]*deviceState, len(devices)),
 		router: NewRouter(cfg.MinServing),
 	}
+	s.router.SetCostAware(cfg.CostAwareRouting)
 	for _, dev := range devices {
 		id := dev.ID()
 		if id == "" {
@@ -311,7 +339,12 @@ func build(devices []Device, cfg Config, jw *journal.Writer) (*Supervisor, error
 			return nil, fmt.Errorf("fleet: commission %s: %w", id, err)
 		}
 		s.order = append(s.order, id)
-		s.states[id] = &deviceState{dev: dev, rt: rt, budget: cfg.RepairBudget}
+		ds := &deviceState{dev: dev, rt: rt, budget: cfg.RepairBudget}
+		if cm, ok := dev.(CostMetered); ok {
+			ds.counter = cm.CostCounter()
+			rt.SetCostCounter(ds.counter)
+		}
+		s.states[id] = ds
 	}
 	s.router.Update(s.servingEntries())
 	return s, nil
@@ -448,6 +481,7 @@ func (s *Supervisor) appendRecord(kind string) error {
 			Breaker:     ds.breaker,
 			Retired:     ds.retired,
 			Decisions:   append([]RepairDecision(nil), ds.decisions...),
+			Cost:        ds.counter.Snapshot(),
 		})
 	}
 	payload, err := encodeRecord(rec)
@@ -461,19 +495,51 @@ func (s *Supervisor) appendRecord(kind string) error {
 }
 
 // servingEntries lists the devices eligible to serve traffic right now:
-// breaker closed, not retired, confirmed status at worst Degraded.
+// breaker closed, not retired, confirmed status at worst Degraded — each
+// annotated with its hardware spend since the previous schedule rebuild (the
+// cost-aware router's placement signal; zero for unmetered devices).
 func (s *Supervisor) servingEntries() []RouteEntry {
 	entries := make([]RouteEntry, 0, len(s.order))
 	for _, id := range s.order {
 		ds := s.states[id]
+		if ds.counter != nil {
+			total := ds.counter.Snapshot().Total()
+			delta := total.Minus(ds.lastCost)
+			ds.lastCost = total
+			ds.lastRate = delta
+		}
 		if ds.retired || ds.breaker.State != BreakerClosed {
 			continue
 		}
 		if st := ds.rt.Confirmed(); st <= monitor.Degraded {
-			entries = append(entries, RouteEntry{ID: id, Status: st})
+			entries = append(entries, RouteEntry{
+				ID:         id,
+				Status:     st,
+				EnergyRate: ds.lastRate.EnergyFJ,
+				CycleRate:  ds.lastRate.ComputeCycles,
+			})
 		}
 	}
 	return entries
+}
+
+// CostOf returns one metered device's cumulative hardware spend by class
+// (zero breakdown, false when the device is unknown or unmetered).
+func (s *Supervisor) CostOf(id string) (reram.CostBreakdown, bool) {
+	ds, ok := s.states[id]
+	if !ok || ds.counter == nil {
+		return reram.CostBreakdown{}, false
+	}
+	return ds.counter.Snapshot(), true
+}
+
+// FleetCost sums every metered device's cumulative spend.
+func (s *Supervisor) FleetCost() reram.CostBreakdown {
+	var total reram.CostBreakdown
+	for _, id := range s.order {
+		total.Add(s.states[id].counter.Snapshot())
+	}
+	return total
 }
 
 // Dispatch routes one inference request through the health-aware router.
@@ -594,6 +660,7 @@ func (s *Supervisor) Snapshot() map[string]DeviceSnapshot {
 			Breaker:     ds.breaker,
 			Retired:     ds.retired,
 			Decisions:   append([]RepairDecision(nil), ds.decisions...),
+			Cost:        ds.counter.Snapshot(),
 		}
 	}
 	return out

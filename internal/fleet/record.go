@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"reramtest/internal/health"
+	"reramtest/internal/reram"
 )
 
 // RepairDecision is one journaled strategy choice: which rung of the repair
@@ -40,6 +41,11 @@ type DeviceRecord struct {
 	Breaker     Breaker          `json:"breaker"`
 	Retired     bool             `json:"retired,omitempty"`
 	Decisions   []RepairDecision `json:"decisions,omitempty"`
+	// Cost is the device's cumulative hardware spend by attribution class.
+	// Journals written before cost accounting existed simply omit the key;
+	// replay backfills the zero breakdown, so old WALs resume cleanly with
+	// the meter restarting from zero.
+	Cost reram.CostBreakdown `json:"cost"`
 }
 
 // Record is one journaled durable state transition for the whole fleet.
@@ -85,6 +91,9 @@ type DeviceSnapshot struct {
 	Breaker     Breaker
 	Retired     bool
 	Decisions   []RepairDecision
+	// Cost is the cumulative per-class hardware spend as of the snapshot
+	// (zero for journals predating cost accounting).
+	Cost reram.CostBreakdown
 }
 
 // Validate rejects snapshots that could not have been journaled by a
@@ -145,6 +154,7 @@ func ReplayRecords(payloads [][]byte) (snaps map[string]DeviceSnapshot, round in
 					Breaker:     d.Breaker,
 					Retired:     d.Retired,
 					Decisions:   append([]RepairDecision(nil), d.Decisions...),
+					Cost:        d.Cost,
 				}
 				if err := snap.Validate(); err != nil {
 					return nil, 0, fmt.Errorf("fleet: journal record %d for %s: %w", i, d.Device, err)

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"testing"
+
+	"reramtest/internal/monitor"
+)
+
+// dispatchCounts drains n dispatches and tallies placements.
+func dispatchCounts(r *Router, n int) map[string]int {
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		id, _, ok := r.Dispatch()
+		if !ok {
+			break
+		}
+		counts[id]++
+		r.Complete(id)
+	}
+	return counts
+}
+
+// TestRouterCostAwareWeighting pins the composite schedule: health dominates,
+// cost rebalances within a health tier, and the historical weighting is
+// untouched when the mode is off.
+func TestRouterCostAwareWeighting(t *testing.T) {
+	entries := []RouteEntry{
+		// cheap healthy: at the median on both axes → 3·2+1+1 = 8 slots
+		{ID: "cheap", Status: monitor.Healthy, EnergyRate: 10, CycleRate: 5},
+		// expensive healthy: above both medians → 3·2 = 6 slots
+		{ID: "spendy", Status: monitor.Healthy, EnergyRate: 100, CycleRate: 50},
+		// cheap degraded: 3·1+1+1 = 5 slots — still below every healthy device
+		{ID: "limpy", Status: monitor.Degraded, EnergyRate: 10, CycleRate: 5},
+	}
+
+	r := NewRouter(1)
+	r.SetCostAware(true)
+	r.Update(entries)
+	counts := dispatchCounts(r, 19)
+	if counts["cheap"] != 8 || counts["spendy"] != 6 || counts["limpy"] != 5 {
+		t.Fatalf("cost-aware slot split = %v, want cheap:8 spendy:6 limpy:5", counts)
+	}
+	if counts["limpy"] >= counts["spendy"] {
+		t.Fatalf("cost bonus let a Degraded device outrank a Healthy one: %v", counts)
+	}
+
+	// off: the historical 2/2/1 health-only weighting, byte-for-byte
+	r2 := NewRouter(1)
+	r2.Update(entries)
+	counts2 := dispatchCounts(r2, 5)
+	if counts2["cheap"] != 2 || counts2["spendy"] != 2 || counts2["limpy"] != 1 {
+		t.Fatalf("historical slot split = %v, want cheap:2 spendy:2 limpy:1", counts2)
+	}
+}
+
+// TestRouterCostAwareUnmetered pins the degenerate case: every rate zero
+// (unmetered fleet) means every serving device sits at the median and earns
+// both bonuses — the schedule reduces to 3× the health weighting, preserving
+// the health-only dispatch RATIO exactly.
+func TestRouterCostAwareUnmetered(t *testing.T) {
+	entries := []RouteEntry{
+		{ID: "a", Status: monitor.Healthy},
+		{ID: "b", Status: monitor.Degraded},
+	}
+	r := NewRouter(1)
+	r.SetCostAware(true)
+	r.Update(entries)
+	counts := dispatchCounts(r, 13)
+	if counts["a"] != 8 || counts["b"] != 5 {
+		t.Fatalf("unmetered cost-aware split = %v, want a:8 b:5", counts)
+	}
+}
+
+// TestRouterCostAwareDeterministic: same entries, same dispatch sequence.
+func TestRouterCostAwareDeterministic(t *testing.T) {
+	entries := []RouteEntry{
+		{ID: "x", Status: monitor.Healthy, EnergyRate: 1, CycleRate: 1},
+		{ID: "y", Status: monitor.Healthy, EnergyRate: 9, CycleRate: 9},
+	}
+	seq := func() []string {
+		r := NewRouter(1)
+		r.SetCostAware(true)
+		r.Update(entries)
+		var out []string
+		for i := 0; i < 14; i++ {
+			id, _, ok := r.Dispatch()
+			if !ok {
+				break
+			}
+			out = append(out, id)
+			r.Complete(id)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dispatch sequence diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -65,7 +65,9 @@ func (rt *Runtime) superviseLadder(ctx context.Context, accel monitor.Infer, sr 
 			break
 		}
 		att := Attempt{Strategy: s.Name(), Cost: s.Cost()}
-		rep, err := s.Apply(ctx, diag)
+		var rep repair.Report
+		var err error
+		rt.meterRepair(&att, func() { rep, err = s.Apply(ctx, diag) })
 		// the cost is charged even when the application fails: the hardware
 		// operation ran (or partially ran) and the fleet's lifetime budget
 		// models wear, not success
@@ -81,6 +83,7 @@ func (rt *Runtime) superviseLadder(ctx context.Context, accel monitor.Infer, sr 
 			att.Verified, att.VerifyDist = rt.verify(ctx, accel)
 		}
 		ep.Attempts = append(ep.Attempts, att)
+		ep.Measured.Add(att.Measured)
 		if att.Verified {
 			rt.forceConfirmed(monitor.Healthy)
 			ep.Recovered = true

@@ -15,6 +15,7 @@ import (
 	"reramtest/internal/monitor"
 	"reramtest/internal/nn"
 	"reramtest/internal/repair"
+	"reramtest/internal/reram"
 	"reramtest/internal/tensor"
 )
 
@@ -42,6 +43,11 @@ type Attempt struct {
 	Verified       bool    // all verification rounds came back Healthy
 	VerifyDist     float64 // worst AllDist seen across verification rounds
 	Recommissioned bool    // the monitor's golden reference was recaptured
+	// Measured is the hardware spend the apply actually charged to the
+	// device's cost counter (ClassRepair delta across the application) —
+	// the measured figure next to the ladder's sticker Cost. Zero when no
+	// counter is attached (SetCostCounter) or the repair ran off-meter.
+	Measured reram.Cost
 }
 
 // String renders the attempt on one line.
@@ -84,6 +90,9 @@ type Episode struct {
 	// CostSpent is the budget charge for this episode: the sum of strategy
 	// Cost() on the ladder path, or one unit per attempt on the action path.
 	CostSpent int
+	// Measured is the summed measured hardware spend of the episode's repair
+	// applications (see Attempt.Measured).
+	Measured reram.Cost
 	// RetireAdvised reports that no applicable strategy fits the remaining
 	// budget (or nothing is applicable at all): spending more rounds on this
 	// device cannot help, so the fleet should retire it rather than wait for
@@ -183,7 +192,9 @@ func (rt *Runtime) SuperviseBudgetCtx(ctx context.Context, accel monitor.Infer, 
 			break
 		}
 		att := Attempt{Action: action, Cost: 1}
-		newRef, err := rep.Apply(action)
+		var newRef *nn.Network
+		var err error
+		rt.meterRepair(&att, func() { newRef, err = rep.Apply(action) })
 		if err != nil {
 			att.ApplyErr = err
 		} else {
@@ -194,6 +205,7 @@ func (rt *Runtime) SuperviseBudgetCtx(ctx context.Context, accel monitor.Infer, 
 			att.Verified, att.VerifyDist = rt.verify(ctx, accel)
 		}
 		ep.Attempts = append(ep.Attempts, att)
+		ep.Measured.Add(att.Measured)
 		if att.Verified {
 			// verification rounds are authoritative evidence of recovery;
 			// bypass the de-escalation delay
@@ -231,6 +243,9 @@ func (rt *Runtime) SuperviseBudgetCtx(ctx context.Context, accel monitor.Infer, 
 // hysteresis tracker: they are part of the repair transaction, and success
 // resets the tracker wholesale via forceConfirmed.
 func (rt *Runtime) verify(ctx context.Context, accel monitor.Infer) (ok bool, worstDist float64) {
+	// verification readouts are concurrent-test work, not serving
+	prevClass := rt.counter.SetClass(reram.ClassMonitor)
+	defer rt.counter.SetClass(prevClass)
 	ok = true
 	for v := 0; v < rt.cfg.VerifyRounds; v++ {
 		probs, rejected, err := rt.readout(ctx, accel)
@@ -247,6 +262,18 @@ func (rt *Runtime) verify(ctx context.Context, accel monitor.Infer) (ok bool, wo
 		}
 	}
 	return ok, worstDist
+}
+
+// meterRepair runs one repair application with the device counter switched
+// to ClassRepair and records the measured spend delta into att.Measured.
+// With no counter attached both snapshots are zero and the class switch is a
+// no-op.
+func (rt *Runtime) meterRepair(att *Attempt, apply func()) {
+	prevClass := rt.counter.SetClass(reram.ClassRepair)
+	before := rt.counter.Snapshot().Repair
+	apply()
+	att.Measured = rt.counter.Snapshot().Repair.Minus(before)
+	rt.counter.SetClass(prevClass)
 }
 
 // escalate returns the next costlier repair mechanism.

@@ -1,0 +1,429 @@
+// Hardware cost accounting. The paper's argument is economic — concurrent
+// test patterns earn their keep because they are cheap relative to taking a
+// device offline for functional test — so the simulator carries an explicit
+// spend meter next to its fidelity models. Every tile-level operation
+// (crossbar activation, DAC/ADC conversion, cell write, readout scan)
+// charges an integer-denominated Cost into a Counter, attributed to one of
+// three classes: Serving (revenue inference), Monitor (concurrent-test
+// readouts) and Repair (scrubs, remaps, reprogramming, retraining).
+//
+// Design constraints, in order:
+//
+//   - Numerically invisible: counters are integers and never touch the
+//     float64 data path, so enabling accounting cannot move a single output
+//     bit. The golden bit-identity suites run with counters attached.
+//   - Allocation-free and lock-free on the hot path: a charge is a handful
+//     of atomic adds on pre-existing fields. Snapshots are atomic loads
+//     concurrent with charging — no locks, no stop-the-world.
+//   - Deterministic folds: costs are unsigned integers, so summing shard
+//     counters is associative and commutative — a pooled Meter folds to
+//     exactly the serial total regardless of worker interleaving (the same
+//     identity the training engine's gradient folds rely on, made trivial
+//     by leaving IEEE arithmetic out of it).
+//
+// Units are documented per field; energy uses fixed femtojoule-per-event
+// coefficients in the range published for ISAAC-class designs, so EnergyFJ
+// is a modeled (relative) figure, not a measured one. See DESIGN.md §14.
+//
+// This package is a dependency leaf (it imports only nn and the runtime):
+// the simulated accelerator (internal/reram), the inference engine and the
+// training engine all charge into it without importing each other. The reram
+// package re-exports every name here under type aliases, so device-facing
+// code keeps writing reram.Cost / reram.Counter.
+package hwcost
+
+import (
+	"sync/atomic"
+
+	"reramtest/internal/nn"
+)
+
+// Modeled per-event energy coefficients in femtojoules. Fixed integers keep
+// the accounting exact; absolute values are order-of-magnitude picks from the
+// ISAAC/PRIME literature (cell read ~1 fJ, cell write ~8 fJ, 8-bit DAC ~4 fJ,
+// 8-bit ADC ~16 fJ) — the gates only ever compare like against like.
+const (
+	EnergyCellReadFJ  = 1
+	EnergyCellWriteFJ = 8
+	EnergyDACFJ       = 4
+	EnergyADCFJ       = 16
+)
+
+// Cost is one integer-denominated hardware spend total. The zero value is
+// free. Costs add field-wise; no field ever carries IEEE arithmetic, so sums
+// are exact and order-independent.
+type Cost struct {
+	// ComputeCycles counts crossbar activation cycles (one per tile pair per
+	// row-tile pass — the differential arrays fire together).
+	ComputeCycles uint64 `json:"computeCycles"`
+	// DACConversions counts word-line input conversions.
+	DACConversions uint64 `json:"dacConversions"`
+	// ADCConversions counts bitline output conversions.
+	ADCConversions uint64 `json:"adcConversions"`
+	// CrossbarReads counts cell read activations (cells on driven word-lines).
+	CrossbarReads uint64 `json:"crossbarReads"`
+	// CrossbarWrites counts cell write pulses.
+	CrossbarWrites uint64 `json:"crossbarWrites"`
+	// EnergyFJ is the modeled energy in femtojoules (see the coefficients).
+	EnergyFJ uint64 `json:"energyFJ"`
+	// BufferBytes counts digital buffer traffic in bytes (inputs staged to
+	// the DACs plus partial sums drained from the ADCs, 8 bytes per float).
+	BufferBytes uint64 `json:"bufferBytes"`
+}
+
+// Add accumulates o into c field-wise.
+func (c *Cost) Add(o Cost) {
+	c.ComputeCycles += o.ComputeCycles
+	c.DACConversions += o.DACConversions
+	c.ADCConversions += o.ADCConversions
+	c.CrossbarReads += o.CrossbarReads
+	c.CrossbarWrites += o.CrossbarWrites
+	c.EnergyFJ += o.EnergyFJ
+	c.BufferBytes += o.BufferBytes
+}
+
+// Plus returns c + o.
+func (c Cost) Plus(o Cost) Cost {
+	c.Add(o)
+	return c
+}
+
+// Minus returns c − o field-wise. It is the delta of two snapshots of one
+// monotone counter; the caller guarantees o ≤ c field-wise.
+func (c Cost) Minus(o Cost) Cost {
+	c.ComputeCycles -= o.ComputeCycles
+	c.DACConversions -= o.DACConversions
+	c.ADCConversions -= o.ADCConversions
+	c.CrossbarReads -= o.CrossbarReads
+	c.CrossbarWrites -= o.CrossbarWrites
+	c.EnergyFJ -= o.EnergyFJ
+	c.BufferBytes -= o.BufferBytes
+	return c
+}
+
+// Scale returns c with every field multiplied by n (n samples of a modeled
+// per-sample cost).
+func (c Cost) Scale(n uint64) Cost {
+	c.ComputeCycles *= n
+	c.DACConversions *= n
+	c.ADCConversions *= n
+	c.CrossbarReads *= n
+	c.CrossbarWrites *= n
+	c.EnergyFJ *= n
+	c.BufferBytes *= n
+	return c
+}
+
+// IsZero reports whether every field is zero.
+func (c Cost) IsZero() bool { return c == Cost{} }
+
+// Class attributes a charge to the activity that caused it.
+type Class int
+
+// Attribution classes. ClassServing is the default: a counter charges to it
+// unless the layer that knows better (the health runtime around a test
+// readout, the supervisor around a repair) switches the class for the
+// duration of the operation.
+const (
+	ClassServing Class = iota
+	ClassMonitor
+	ClassRepair
+	numClasses
+)
+
+// String names the class for telemetry.
+func (c Class) String() string {
+	switch c {
+	case ClassServing:
+		return "serving"
+	case ClassMonitor:
+		return "monitor"
+	case ClassRepair:
+		return "repair"
+	default:
+		return "unknown"
+	}
+}
+
+// CostBreakdown is a per-class snapshot of cumulative spend.
+type CostBreakdown struct {
+	Serving Cost `json:"serving"`
+	Monitor Cost `json:"monitor"`
+	Repair  Cost `json:"repair"`
+}
+
+// Total returns the class-summed spend.
+func (b CostBreakdown) Total() Cost {
+	return b.Serving.Plus(b.Monitor).Plus(b.Repair)
+}
+
+// Add accumulates o into b class-wise.
+func (b *CostBreakdown) Add(o CostBreakdown) {
+	b.Serving.Add(o.Serving)
+	b.Monitor.Add(o.Monitor)
+	b.Repair.Add(o.Repair)
+}
+
+// Plus returns b + o.
+func (b CostBreakdown) Plus(o CostBreakdown) CostBreakdown {
+	b.Add(o)
+	return b
+}
+
+// Minus returns b − o class-wise (delta of two snapshots of one monotone
+// counter).
+func (b CostBreakdown) Minus(o CostBreakdown) CostBreakdown {
+	b.Serving = b.Serving.Minus(o.Serving)
+	b.Monitor = b.Monitor.Minus(o.Monitor)
+	b.Repair = b.Repair.Minus(o.Repair)
+	return b
+}
+
+// ByClass returns one class's spend.
+func (b CostBreakdown) ByClass(cl Class) Cost {
+	switch cl {
+	case ClassMonitor:
+		return b.Monitor
+	case ClassRepair:
+		return b.Repair
+	default:
+		return b.Serving
+	}
+}
+
+// costCells is one class's set of atomic accumulators, field-for-field with
+// Cost.
+type costCells struct {
+	cycles, dac, adc, reads, writes, energy, buffer atomic.Uint64
+}
+
+func (s *costCells) add(c Cost) {
+	if c.ComputeCycles != 0 {
+		s.cycles.Add(c.ComputeCycles)
+	}
+	if c.DACConversions != 0 {
+		s.dac.Add(c.DACConversions)
+	}
+	if c.ADCConversions != 0 {
+		s.adc.Add(c.ADCConversions)
+	}
+	if c.CrossbarReads != 0 {
+		s.reads.Add(c.CrossbarReads)
+	}
+	if c.CrossbarWrites != 0 {
+		s.writes.Add(c.CrossbarWrites)
+	}
+	if c.EnergyFJ != 0 {
+		s.energy.Add(c.EnergyFJ)
+	}
+	if c.BufferBytes != 0 {
+		s.buffer.Add(c.BufferBytes)
+	}
+}
+
+func (s *costCells) load() Cost {
+	return Cost{
+		ComputeCycles:  s.cycles.Load(),
+		DACConversions: s.dac.Load(),
+		ADCConversions: s.adc.Load(),
+		CrossbarReads:  s.reads.Load(),
+		CrossbarWrites: s.writes.Load(),
+		EnergyFJ:       s.energy.Load(),
+		BufferBytes:    s.buffer.Load(),
+	}
+}
+
+func (s *costCells) store(c Cost) {
+	s.cycles.Store(c.ComputeCycles)
+	s.dac.Store(c.DACConversions)
+	s.adc.Store(c.ADCConversions)
+	s.reads.Store(c.CrossbarReads)
+	s.writes.Store(c.CrossbarWrites)
+	s.energy.Store(c.EnergyFJ)
+	s.buffer.Store(c.BufferBytes)
+}
+
+// Counter is a lock-free per-device cost accumulator: one set of atomic
+// cells per attribution class plus the current class. Charging is wait-free
+// (a few atomic adds, zero allocations); Snapshot is atomic loads and may
+// run concurrently with charging from any goroutine. A nil *Counter is a
+// valid no-op sink, so unmetered paths pay one branch.
+type Counter struct {
+	class atomic.Int64
+	cells [numClasses]costCells
+}
+
+// NewCounter returns a zeroed counter attributing to ClassServing.
+func NewCounter() *Counter { return &Counter{} }
+
+// Charge accumulates c into the counter's current class. Safe on a nil
+// receiver (no-op).
+func (k *Counter) Charge(c Cost) {
+	if k == nil {
+		return
+	}
+	k.cells[k.class.Load()].add(c)
+}
+
+// ChargeClass accumulates c into an explicit class regardless of the current
+// one. Safe on a nil receiver (no-op).
+func (k *Counter) ChargeClass(cl Class, c Cost) {
+	if k == nil {
+		return
+	}
+	k.cells[cl].add(c)
+}
+
+// SetClass switches the attribution class for subsequent charges and returns
+// the previous class so callers can restore it:
+//
+//	prev := ctr.SetClass(hwcost.ClassMonitor)
+//	defer ctr.SetClass(prev)
+//
+// Safe on a nil receiver (returns ClassServing).
+func (k *Counter) SetClass(cl Class) (prev Class) {
+	if k == nil {
+		return ClassServing
+	}
+	return Class(k.class.Swap(int64(cl)))
+}
+
+// Class returns the current attribution class.
+func (k *Counter) Class() Class {
+	if k == nil {
+		return ClassServing
+	}
+	return Class(k.class.Load())
+}
+
+// Snapshot returns the cumulative per-class spend. It is safe concurrent
+// with charging; each field is individually atomic (the snapshot is not a
+// single linearization point across fields, which monotone accounting never
+// needs). Safe on a nil receiver (returns zero).
+func (k *Counter) Snapshot() CostBreakdown {
+	if k == nil {
+		return CostBreakdown{}
+	}
+	return CostBreakdown{
+		Serving: k.cells[ClassServing].load(),
+		Monitor: k.cells[ClassMonitor].load(),
+		Repair:  k.cells[ClassRepair].load(),
+	}
+}
+
+// Restore overwrites the counter with a snapshot (journal replay after a
+// supervisor crash). Not intended to race with charging: restore happens
+// before the device re-enters service.
+func (k *Counter) Restore(b CostBreakdown) {
+	if k == nil {
+		return
+	}
+	k.cells[ClassServing].store(b.Serving)
+	k.cells[ClassMonitor].store(b.Monitor)
+	k.cells[ClassRepair].store(b.Repair)
+}
+
+// Meter is a per-worker sharded counter for pooled pipelines: worker i
+// charges Shard(i) with zero cross-worker contention, and Fold sums the
+// shards in ascending index order. Because every field is an unsigned
+// integer, the fold is exact and identical to serial accumulation no matter
+// how the workers interleaved — the cost-accounting analogue of the training
+// engine's fixed-order gradient folds.
+type Meter struct {
+	shards []Counter
+}
+
+// NewMeter returns a meter with n shards (n ≥ 1).
+func NewMeter(n int) *Meter {
+	if n < 1 {
+		n = 1
+	}
+	return &Meter{shards: make([]Counter, n)}
+}
+
+// Shards returns the shard count.
+func (m *Meter) Shards() int { return len(m.shards) }
+
+// Shard returns shard i's counter.
+func (m *Meter) Shard(i int) *Counter { return &m.shards[i] }
+
+// Fold sums every shard's snapshot in ascending shard order.
+func (m *Meter) Fold() CostBreakdown {
+	var b CostBreakdown
+	for i := range m.shards {
+		b.Add(m.shards[i].Snapshot())
+	}
+	return b
+}
+
+// DefaultTileRows/Cols mirror the simulator's default crossbar organisation;
+// cost models fall back to them when the caller passes no tile dims.
+const (
+	DefaultTileRows = 128
+	DefaultTileCols = 128
+)
+
+// MatVecCost returns the modeled per-pass cost of driving one (out × in)
+// tiled linear layer on the analog path, excluding the data-dependent
+// crossbar reads the crossbar arrays charge themselves (active word-lines ×
+// columns). This is also the model the digital engines use for a per-sample
+// charge when serving from the weight-level readout: there the read term is
+// included at its dense upper bound because no DAC sparsity gate runs.
+// tileRows/tileCols ≤ 0 select the defaults.
+func MatVecCost(out, in, tileRows, tileCols int, denseReads bool) Cost {
+	if tileRows <= 0 {
+		tileRows = DefaultTileRows
+	}
+	if tileCols <= 0 {
+		tileCols = DefaultTileCols
+	}
+	rowTiles := uint64((in + tileRows - 1) / tileRows)
+	colTiles := uint64((out + tileCols - 1) / tileCols)
+	c := Cost{
+		// one activation cycle per tile pair per row-tile pass
+		ComputeCycles: rowTiles * colTiles,
+		// each input element converted once, reused across the tile row
+		DACConversions: uint64(in),
+		// each tile pair drains both polarities' bitlines per row-tile pass
+		ADCConversions: 2 * rowTiles * colTiles * uint64(tileCols),
+		// inputs staged in, outputs drained out, 8 bytes per float64
+		BufferBytes: uint64(in+out) * 8,
+	}
+	if denseReads {
+		c.CrossbarReads = 2 * uint64(in) * uint64(out)
+	}
+	c.EnergyFJ = c.DACConversions*EnergyDACFJ + c.ADCConversions*EnergyADCFJ +
+		c.CrossbarReads*EnergyCellReadFJ
+	return c
+}
+
+// ModelLayerCost is the per-sample forward hardware model of one compute
+// layer, shared by the digital engines: weight-bearing layers price as
+// crossbar matvecs at the dense read upper bound (those engines serve from
+// the weight-level readout, where no DAC sparsity gate runs), a convolution
+// prices one matvec per output spatial position, and digital peripheral ops
+// price as buffer traffic only.
+func ModelLayerCost(l nn.Layer, inVol, outVol, tileRows, tileCols int) Cost {
+	switch ll := l.(type) {
+	case *nn.Dense:
+		return MatVecCost(ll.Out(), ll.In(), tileRows, tileCols, true)
+	case *nn.Conv2D:
+		g := ll.Geom()
+		spatial := g.OutH() * g.OutW()
+		ckk := g.InC * g.KH * g.KW
+		return MatVecCost(ll.OutC(), ckk, tileRows, tileCols, true).Scale(uint64(spatial))
+	default:
+		return Cost{BufferBytes: uint64(inVol+outVol) * 8}
+	}
+}
+
+// ReadCost is the data-dependent crossbar charge: cells activated on driven
+// word-lines plus their read energy.
+func ReadCost(activeCells uint64) Cost {
+	return Cost{CrossbarReads: activeCells, EnergyFJ: activeCells * EnergyCellReadFJ}
+}
+
+// WriteCost is the cell-write charge for programming/scrub/remap pulses.
+func WriteCost(cells uint64) Cost {
+	return Cost{CrossbarWrites: cells, EnergyFJ: cells * EnergyCellWriteFJ}
+}

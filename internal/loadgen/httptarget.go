@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"reramtest/internal/reram"
 )
 
 // HTTPTarget drives a live netserve endpoint over its wire protocol.
@@ -66,12 +68,13 @@ func (h *HTTPTarget) Serve(ctx context.Context, req Request) Outcome {
 
 	if resp.StatusCode == http.StatusOK {
 		var ok struct {
-			Degraded bool `json:"degraded"`
+			Degraded bool       `json:"degraded"`
+			Cost     reram.Cost `json:"cost"`
 		}
 		if derr := json.NewDecoder(resp.Body).Decode(&ok); derr != nil {
 			return Outcome{Kind: "transport", Code: resp.StatusCode}
 		}
-		return Outcome{Kind: "ok", Code: resp.StatusCode, Degraded: ok.Degraded}
+		return Outcome{Kind: "ok", Code: resp.StatusCode, Degraded: ok.Degraded, Cost: ok.Cost}
 	}
 	var bad struct {
 		Error string `json:"error"`

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"reramtest/internal/reram"
 	"reramtest/internal/rng"
 )
 
@@ -122,6 +123,11 @@ type Outcome struct {
 	Code int
 	// Degraded flags an ok answer served from degraded silicon.
 	Degraded bool
+	// Cost is the hardware spend the tier reported for the winning attempt
+	// (zero for failed requests or unmetered tiers). Summed into the report's
+	// client-observed cost ledger, which the soak gates reconcile against the
+	// tier's own per-tenant table.
+	Cost reram.Cost
 }
 
 // Target serves one generated request and classifies the result. Both the
@@ -142,6 +148,12 @@ type Report struct {
 	ByTenant  map[string]int // requests sent per tenant
 	Storms    int            // storm waves run
 
+	// Cost is the total hardware spend the tier reported across this
+	// campaign's ok answers, and CostByTenant its per-tenant split — the
+	// client-observed side of the tier's cost ledger.
+	Cost         reram.Cost
+	CostByTenant map[string]reram.Cost
+
 	// Latencies holds the non-storm round-trip times, in completion order —
 	// raw so a soak can pool baseline and chaos passes before computing
 	// percentiles.
@@ -149,6 +161,47 @@ type Report struct {
 
 	Elapsed    time.Duration
 	Throughput float64 // requests/sec over the whole campaign
+}
+
+// Merge folds other into r. Counters and cost ledgers add, latency samples
+// pool, elapsed times sum, and throughput is recomputed over the merged
+// campaign. Merging is associative and commutative up to latency-sample order
+// (all scalar fields are plain sums), so soaks can fold per-phase reports in
+// any grouping and reconcile the same totals.
+func (r *Report) Merge(other Report) {
+	r.Sent += other.Sent
+	r.OK += other.OK
+	r.Degraded += other.Degraded
+	r.Hung += other.Hung
+	r.Transport += other.Transport
+	r.Untyped += other.Untyped
+	r.Storms += other.Storms
+	if r.ByKind == nil {
+		r.ByKind = make(map[string]int)
+	}
+	for k, n := range other.ByKind {
+		r.ByKind[k] += n
+	}
+	if r.ByTenant == nil {
+		r.ByTenant = make(map[string]int)
+	}
+	for t, n := range other.ByTenant {
+		r.ByTenant[t] += n
+	}
+	r.Cost.Add(other.Cost)
+	if len(other.CostByTenant) > 0 && r.CostByTenant == nil {
+		r.CostByTenant = make(map[string]reram.Cost)
+	}
+	for t, c := range other.CostByTenant {
+		merged := r.CostByTenant[t]
+		merged.Add(c)
+		r.CostByTenant[t] = merged
+	}
+	r.Latencies = append(r.Latencies, other.Latencies...)
+	r.Elapsed += other.Elapsed
+	if secs := r.Elapsed.Seconds(); secs > 0 {
+		r.Throughput = float64(r.Sent) / secs
+	}
 }
 
 // P returns the q-quantile (0 < q ≤ 1) of the non-storm latencies.
@@ -249,7 +302,8 @@ func Run(ctx context.Context, seed int64, target Target, cfg Config, progress fu
 	if err != nil {
 		return Report{}, err
 	}
-	rep := Report{ByKind: make(map[string]int), ByTenant: make(map[string]int)}
+	rep := Report{ByKind: make(map[string]int), ByTenant: make(map[string]int),
+		CostByTenant: make(map[string]reram.Cost)}
 	var mu sync.Mutex
 	start := time.Now()
 
@@ -295,6 +349,12 @@ func Run(ctx context.Context, seed int64, target Target, cfg Config, progress fu
 					rep.OK++
 					if out.Degraded {
 						rep.Degraded++
+					}
+					if !out.Cost.IsZero() {
+						rep.Cost.Add(out.Cost)
+						tc := rep.CostByTenant[req.Tenant]
+						tc.Add(out.Cost)
+						rep.CostByTenant[req.Tenant] = tc
 					}
 				case "hung":
 					rep.Hung++

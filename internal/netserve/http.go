@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"reramtest/internal/reram"
 	"reramtest/internal/serve"
 	"reramtest/internal/tensor"
 )
@@ -23,6 +24,9 @@ import (
 //	  4xx/5xx: {"error":"<kind>", "message":"..."}  (kind ∈ KnownKinds)
 //	GET /v1/healthz   per-shard serving/quarantined/retired/draining snapshot
 //	GET /v1/stats     the tier's lifetime counters
+//	GET /statsz       full telemetry: lifetime counters, per-tenant/per-shard
+//	                  response-granular hardware cost, and every device's live
+//	                  per-class counter snapshot
 //
 // Degraded answers are 200s: the paper's economics keep drifting silicon in
 // service, so the flag rides in the body and the X-Degraded header and the
@@ -45,6 +49,10 @@ type inferResponse struct {
 	Hedged   bool        `json:"hedged,omitempty"`
 	Retried  bool        `json:"retried,omitempty"`
 	Attempts int         `json:"attempts"`
+	// Cost is the measured hardware spend of the attempt that served this
+	// answer; clients summing it across completed requests reproduce the
+	// tier's per-tenant figure exactly (see CostStats).
+	Cost reram.Cost `json:"cost"`
 }
 
 // errorResponse is every non-200 body.
@@ -64,6 +72,7 @@ func (f *Frontend) Handler() http.Handler {
 	mux.HandleFunc("/v1/infer", f.handleInfer)
 	mux.HandleFunc("/v1/healthz", f.handleHealthz)
 	mux.HandleFunc("/v1/stats", f.handleStats)
+	mux.HandleFunc("/statsz", f.handleStatsz)
 	return mux
 }
 
@@ -150,6 +159,7 @@ func (f *Frontend) handleInfer(w http.ResponseWriter, r *http.Request) {
 		Hedged:   res.Hedged,
 		Retried:  res.Retried,
 		Attempts: res.Attempts,
+		Cost:     res.Cost,
 	})
 }
 
@@ -190,6 +200,21 @@ func (f *Frontend) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (f *Frontend) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(f.Stats())
+}
+
+// handleStatsz dumps the full telemetry surface in one scrape: the tier's
+// lifetime counters, the response-granular cost table (tenant/shard/fleet,
+// internally consistent by construction) and every device's live per-class
+// counter snapshot (which additionally carries monitor/repair spend and the
+// serving spend of abandoned hedges).
+func (f *Frontend) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Stats   Stats                                     `json:"stats"`
+		Cost    CostStats                                 `json:"cost"`
+		Devices map[string]map[string]reram.CostBreakdown `json:"devices"`
+	}{Stats: f.Stats(), Cost: f.CostStats(), Devices: f.DeviceCosts()}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
 }
 
 // tensorFromRows validates and packs the wire input into an (N, inDim)

@@ -54,6 +54,7 @@ import (
 	"reramtest/internal/fleet"
 	"reramtest/internal/journal"
 	"reramtest/internal/monitor"
+	"reramtest/internal/reram"
 	"reramtest/internal/serve"
 	"reramtest/internal/tensor"
 )
@@ -171,6 +172,66 @@ type Result struct {
 	Hedged   bool
 	Retried  bool // serve-layer retry (faulted primary, same shard)
 	Attempts int  // tier-level placements made (1 = no cross-shard retry)
+	// Cost is the measured hardware spend of the winning attempt (see
+	// serve.Response.Cost). The tier accumulates the same figure into its
+	// per-tenant/per-shard cost table, so client-observed spend and the
+	// tier's telemetry agree exactly.
+	Cost reram.Cost
+}
+
+// CostStats is the tier's spend telemetry at response granularity: what each
+// tenant's completed requests cost, what each shard's completed requests
+// cost, and the fleet total. All three views are accumulated under one lock
+// from the same response stream, so sum(Tenants) == sum(Shards) == Fleet
+// exactly — the identity the network soak gates on. Abandoned hedge attempts
+// charge device counters but never complete a response, so they appear in
+// device telemetry (serve.Server.CostStats) and not here.
+type CostStats struct {
+	Fleet   reram.Cost            `json:"fleet"`
+	Tenants map[string]reram.Cost `json:"tenants"`
+	Shards  map[string]reram.Cost `json:"shards"`
+}
+
+// costTable accumulates completed-response spend. One mutex suffices: the
+// critical section is seven integer adds per map entry, dwarfed by the
+// inference that produced the figures.
+type costTable struct {
+	mu      sync.Mutex
+	tenants map[string]reram.Cost
+	shards  map[string]reram.Cost
+	fleet   reram.Cost
+}
+
+func newCostTable() *costTable {
+	return &costTable{tenants: make(map[string]reram.Cost), shards: make(map[string]reram.Cost)}
+}
+
+func (t *costTable) add(tenant, shard string, c reram.Cost) {
+	if c.IsZero() {
+		return
+	}
+	t.mu.Lock()
+	t.tenants[tenant] = t.tenants[tenant].Plus(c)
+	t.shards[shard] = t.shards[shard].Plus(c)
+	t.fleet.Add(c)
+	t.mu.Unlock()
+}
+
+func (t *costTable) snapshot() CostStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := CostStats{
+		Fleet:   t.fleet,
+		Tenants: make(map[string]reram.Cost, len(t.tenants)),
+		Shards:  make(map[string]reram.Cost, len(t.shards)),
+	}
+	for k, v := range t.tenants {
+		out.Tenants[k] = v
+	}
+	for k, v := range t.shards {
+		out.Shards[k] = v
+	}
+	return out
 }
 
 // Stats is a snapshot of the tier's lifetime counters. The invariants the
@@ -235,6 +296,7 @@ type Frontend struct {
 	inDim  int
 
 	quotas *quotaTable
+	costs  *costTable
 
 	closed    atomic.Bool
 	closeOnce sync.Once
@@ -261,6 +323,7 @@ func New(specs []ShardSpec, cfg Config) (*Frontend, error) {
 		cfg:    cfg,
 		byName: make(map[string]*shard, len(specs)),
 		quotas: newQuotaTable(cfg.Quota, nil),
+		costs:  newCostTable(),
 	}
 	for i, spec := range specs {
 		if spec.Name == "" {
@@ -415,6 +478,7 @@ func (f *Frontend) Do(ctx context.Context, req Request) (Result, error) {
 			if resp.Degraded {
 				f.completedDegraded.Add(1)
 			}
+			f.costs.add(req.Tenant, sh.name, resp.Cost)
 			return Result{
 				Probs:    resp.Probs,
 				Shard:    sh.name,
@@ -424,6 +488,7 @@ func (f *Frontend) Do(ctx context.Context, req Request) (Result, error) {
 				Hedged:   resp.Hedged,
 				Retried:  resp.Retried,
 				Attempts: attempt + 1,
+				Cost:     resp.Cost,
 			}, nil
 		}
 		lastErr = fmt.Errorf("netserve: shard %s: %w", sh.name, err)
@@ -589,6 +654,21 @@ func (f *Frontend) Stats() Stats {
 		AutoDrains:        f.autoDrains.Load(),
 		Drains:            f.drains.Load(),
 	}
+}
+
+// CostStats snapshots the tier's per-tenant/per-shard/fleet spend telemetry.
+func (f *Frontend) CostStats() CostStats { return f.costs.snapshot() }
+
+// DeviceCosts snapshots every device's cumulative per-class spend, keyed
+// shard then device ID. Unlike CostStats (response granularity), this reads
+// the live device counters, so it also includes monitor and repair work and
+// the serving spend of abandoned hedge attempts.
+func (f *Frontend) DeviceCosts() map[string]map[string]reram.CostBreakdown {
+	out := make(map[string]map[string]reram.CostBreakdown, len(f.shards))
+	for _, sh := range f.shards {
+		out[sh.name] = sh.srv.CostStats()
+	}
+	return out
 }
 
 // Close drains the whole tier: new requests are refused with

@@ -29,6 +29,12 @@ type Accelerator struct {
 	// nothing. Like the layers themselves, this makes an Accelerator a
 	// single-goroutine object.
 	ws map[int]*layerWorkspace
+
+	// counter meters every tile operation (see cost.go). Always non-nil after
+	// NewAccelerator; SetCounter swaps in a caller-owned one — the deployment
+	// pattern where cumulative device spend must survive accelerator
+	// replacement.
+	counter *Counter
 }
 
 // layerWorkspace is the reusable state one Infer step needs: the output
@@ -71,7 +77,37 @@ func NewAccelerator(net *nn.Network, cfg Config, seed int64) *Accelerator {
 			a.engines[li] = MapLinear(tensor.Transpose2D(l.Params()[0].Value), cfg, r.Split())
 		}
 	}
+	// meter in-field spend from commissioning onward: the counter attaches
+	// after MapLinear, so fabrication-time programming is deliberately free
+	a.SetCounter(NewCounter())
 	return a
+}
+
+// SetCounter swaps the accelerator's cost counter (propagated to every tile)
+// for a caller-owned one. The counter meters in-field spend; it is attached
+// after commissioning, so fabrication-time programming never charges.
+func (a *Accelerator) SetCounter(c *Counter) {
+	a.counter = c
+	for _, e := range a.engines {
+		e.SetCounter(c)
+	}
+}
+
+// Counter returns the accelerator's cost counter.
+func (a *Accelerator) Counter() *Counter { return a.counter }
+
+// CommissionCost is the sticker write cost of programming every array cell
+// once — what deploying (or redeploying) the full weight set costs. Initial
+// fabrication-time commissioning happens before the counter attaches and is
+// never charged; callers that commission a replacement part IN the field
+// (module-swap repair) charge this explicitly so the fleet ledger sees the
+// write pass the new part absorbed.
+func (a *Accelerator) CommissionCost() Cost {
+	var c Cost
+	for _, e := range a.engines {
+		c.Add(e.commissionCost())
+	}
+	return c
 }
 
 // Config returns the accelerator organisation.

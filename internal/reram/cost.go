@@ -1,0 +1,65 @@
+// Hardware cost accounting, re-exported. The accounting core lives in the
+// dependency-leaf package internal/hwcost so that the training engine (which
+// packages above the model layer import) can charge into the same counters
+// without creating an import cycle through this package. Device-facing code
+// keeps writing reram.Cost / reram.Counter: every name below is a type alias
+// or thin wrapper, so the types are identical across package boundaries.
+//
+// See hwcost's package comment for the design constraints (numerically
+// invisible, allocation-free hot path, deterministic folds) and DESIGN.md §14
+// for units and charge points.
+package reram
+
+import (
+	"reramtest/internal/hwcost"
+	"reramtest/internal/nn"
+)
+
+// Modeled per-event energy coefficients in femtojoules (see hwcost).
+const (
+	EnergyCellReadFJ  = hwcost.EnergyCellReadFJ
+	EnergyCellWriteFJ = hwcost.EnergyCellWriteFJ
+	EnergyDACFJ       = hwcost.EnergyDACFJ
+	EnergyADCFJ       = hwcost.EnergyADCFJ
+)
+
+// Cost, CostBreakdown, Class, Counter and Meter are aliases of the hwcost
+// types — identical types, not conversions, so values flow freely between
+// packages that import either name.
+type (
+	Cost          = hwcost.Cost
+	CostBreakdown = hwcost.CostBreakdown
+	Class         = hwcost.Class
+	Counter       = hwcost.Counter
+	Meter         = hwcost.Meter
+)
+
+// Attribution classes (see hwcost.Class).
+const (
+	ClassServing = hwcost.ClassServing
+	ClassMonitor = hwcost.ClassMonitor
+	ClassRepair  = hwcost.ClassRepair
+)
+
+// NewCounter returns a zeroed counter attributing to ClassServing.
+func NewCounter() *Counter { return hwcost.NewCounter() }
+
+// NewMeter returns a meter with n shards (n ≥ 1).
+func NewMeter(n int) *Meter { return hwcost.NewMeter(n) }
+
+// MatVecCost is hwcost.MatVecCost with the tile organisation drawn from a
+// simulator Config.
+func MatVecCost(out, in int, cfg Config, denseReads bool) Cost {
+	return hwcost.MatVecCost(out, in, cfg.TileRows, cfg.TileCols, denseReads)
+}
+
+// ModelLayerCost is hwcost.ModelLayerCost with the tile organisation drawn
+// from a simulator Config.
+func ModelLayerCost(l nn.Layer, inVol, outVol int, cfg Config) Cost {
+	return hwcost.ModelLayerCost(l, inVol, outVol, cfg.TileRows, cfg.TileCols)
+}
+
+// readCost/writeCost are the tile-level charge helpers the crossbar and
+// mapper use (see hwcost.ReadCost / hwcost.WriteCost).
+func readCost(activeCells uint64) Cost { return hwcost.ReadCost(activeCells) }
+func writeCost(cells uint64) Cost      { return hwcost.WriteCost(cells) }

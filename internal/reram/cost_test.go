@@ -1,0 +1,304 @@
+package reram
+
+import (
+	"sync"
+	"testing"
+
+	"reramtest/internal/nn"
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+func TestCostArithmetic(t *testing.T) {
+	a := Cost{ComputeCycles: 1, DACConversions: 2, ADCConversions: 3,
+		CrossbarReads: 4, CrossbarWrites: 5, EnergyFJ: 6, BufferBytes: 7}
+	b := a.Plus(a)
+	if b != a.Scale(2) {
+		t.Fatalf("Plus/Scale disagree: %+v vs %+v", b, a.Scale(2))
+	}
+	if b.Minus(a) != a {
+		t.Fatalf("Minus is not Plus's inverse: %+v", b.Minus(a))
+	}
+	if !(Cost{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+	var bd CostBreakdown
+	bd.Add(CostBreakdown{Serving: a, Monitor: a, Repair: a})
+	if bd.Total() != a.Scale(3) {
+		t.Fatalf("breakdown Total = %+v, want %+v", bd.Total(), a.Scale(3))
+	}
+	for cl, want := range map[Class]string{ClassServing: "serving", ClassMonitor: "monitor", ClassRepair: "repair"} {
+		if cl.String() != want {
+			t.Fatalf("Class(%d).String() = %q, want %q", cl, cl.String(), want)
+		}
+		if bd.ByClass(cl) != a {
+			t.Fatalf("ByClass(%v) = %+v, want %+v", cl, bd.ByClass(cl), a)
+		}
+	}
+}
+
+func TestCounterClassAttribution(t *testing.T) {
+	c := NewCounter()
+	one := Cost{EnergyFJ: 1, CrossbarReads: 1}
+	c.Charge(one) // default class is Serving
+	prev := c.SetClass(ClassMonitor)
+	if prev != ClassServing {
+		t.Fatalf("SetClass returned prev %v, want serving", prev)
+	}
+	c.Charge(one.Scale(2))
+	c.SetClass(ClassRepair)
+	c.Charge(one.Scale(3))
+	c.SetClass(prev)
+	c.ChargeClass(ClassMonitor, one) // explicit class ignores the current one
+	snap := c.Snapshot()
+	if snap.Serving != one || snap.Monitor != one.Scale(3) || snap.Repair != one.Scale(3) {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap.Total() != one.Scale(7) {
+		t.Fatalf("total %+v, want %+v", snap.Total(), one.Scale(7))
+	}
+
+	c.Restore(CostBreakdown{Repair: one})
+	if got := c.Snapshot(); got != (CostBreakdown{Repair: one}) {
+		t.Fatalf("after Restore: %+v", got)
+	}
+}
+
+func TestNilCounterIsNoOp(t *testing.T) {
+	var c *Counter
+	c.Charge(Cost{EnergyFJ: 1})
+	c.ChargeClass(ClassRepair, Cost{EnergyFJ: 1})
+	c.Restore(CostBreakdown{})
+	if c.SetClass(ClassMonitor) != ClassServing || c.Class() != ClassServing {
+		t.Fatal("nil counter class handling")
+	}
+	if !c.Snapshot().Total().IsZero() {
+		t.Fatal("nil counter snapshot not zero")
+	}
+}
+
+// TestMeterFoldMatchesSerial is the pooled-fold determinism identity: the
+// same charge stream split across meter shards by any worker assignment must
+// fold to exactly the serial single-counter total. Integer addition commutes,
+// so this tests the plumbing (no drops, no double counts), not arithmetic.
+func TestMeterFoldMatchesSerial(t *testing.T) {
+	r := rng.New(11)
+	charges := make([]Cost, 500)
+	for i := range charges {
+		charges[i] = Cost{
+			ComputeCycles:  uint64(r.Intn(100)),
+			DACConversions: uint64(r.Intn(100)),
+			ADCConversions: uint64(r.Intn(100)),
+			CrossbarReads:  uint64(r.Intn(1000)),
+			CrossbarWrites: uint64(r.Intn(10)),
+			EnergyFJ:       uint64(r.Intn(5000)),
+			BufferBytes:    uint64(r.Intn(4096)),
+		}
+	}
+	classes := []Class{ClassServing, ClassMonitor, ClassRepair}
+
+	serial := NewCounter()
+	for i, c := range charges {
+		serial.ChargeClass(classes[i%3], c)
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		m := NewMeter(workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(charges); i += workers {
+					m.Shard(w).ChargeClass(classes[i%3], charges[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got, want := m.Fold(), serial.Snapshot(); got != want {
+			t.Fatalf("%d-shard fold %+v != serial %+v", workers, got, want)
+		}
+	}
+}
+
+// TestCounterRaceSurface exercises every concurrent access the contract
+// allows under -race: one goroutine driving a metered device (MatVec +
+// RefreshReadout, the single-goroutine hot path), several goroutines
+// charging the same counter directly, one snapshotting continuously and one
+// merging snapshots into a running breakdown.
+func TestCounterRaceSurface(t *testing.T) {
+	net := nn.NewNetwork("racer", 8,
+		nn.NewDense("d0", rng.New(3), 8, 6),
+	)
+	accel := NewAccelerator(net, Config{TileRows: 8, TileCols: 8, Device: idealParams()}, 7)
+	ctr := accel.Counter()
+	x := tensor.RandUniform(rng.New(4), 0, 1, 4, 8)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // the device goroutine
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			accel.Infer(x)
+			accel.RefreshReadout()
+		}
+	}()
+	go func() { // an unrelated charger (e.g. a digital engine sharing the meter)
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			ctr.ChargeClass(ClassMonitor, Cost{EnergyFJ: 1})
+		}
+	}()
+	go func() { // the telemetry scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = ctr.Snapshot()
+			}
+		}
+	}()
+	go func() { // the fleet-level merger
+		defer wg.Done()
+		var agg CostBreakdown
+		for {
+			select {
+			case <-done:
+				_ = agg.Total()
+				return
+			default:
+				agg.Add(ctr.Snapshot())
+			}
+		}
+	}()
+	// let the scraper/merger overlap the chargers, then stop them
+	for i := 0; i < 100; i++ {
+		_ = ctr.Snapshot()
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestMeteringIsNumericallyInvisible: attaching a counter must not move a
+// single output bit on the analog path or the readout.
+func TestMeteringIsNumericallyInvisible(t *testing.T) {
+	build := func() *Accelerator {
+		cfg := DefaultConfig()
+		cfg.TileRows, cfg.TileCols = 16, 16
+		cfg.Device.ProgramSigma = 0.03
+		net := nn.NewNetwork("inv", 12,
+			nn.NewDense("d0", rng.New(5), 12, 10),
+			nn.NewReLU("r0"),
+			nn.NewDense("d1", rng.New(6), 10, 4),
+		)
+		return NewAccelerator(net, cfg, 99)
+	}
+	metered, plain := build(), build()
+	plain.SetCounter(nil)
+
+	x := tensor.RandUniform(rng.New(8), 0, 1, 5, 12)
+	if !metered.Infer(x).Equal(plain.Infer(x)) {
+		t.Fatal("metered analog inference diverged from unmetered")
+	}
+	mp, pp := metered.RefreshReadout().Params(), plain.RefreshReadout().Params()
+	for i := range mp {
+		if !mp[i].Value.Equal(pp[i].Value) {
+			t.Fatalf("metered readout param %s diverged", mp[i].Name)
+		}
+	}
+	if metered.Counter().Snapshot().Total().IsZero() {
+		t.Fatal("metered accelerator charged nothing")
+	}
+}
+
+// TestChargePointsCover asserts each charge point lands in the expected
+// field, with the class the caller set.
+func TestChargePointsCover(t *testing.T) {
+	cfg := Config{TileRows: 8, TileCols: 8, DACBits: 8, ADCBits: 8, Device: idealParams()}
+	cfg.Device.SpareRows = 2
+	w := tensor.RandUniform(rng.New(2), -1, 1, 6, 8) // (Out=6, In=8): single tile
+	tl := MapLinear(w, cfg, rng.New(3))
+	ctr := NewCounter()
+	tl.SetCounter(ctr)
+
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = 0.5
+	}
+	out := make([]float64, 6)
+	tl.MatVecInto(out, x)
+	s := ctr.Snapshot().Serving
+	if s.DACConversions != 8 || s.ADCConversions != 2*8 || s.ComputeCycles != 1 {
+		t.Fatalf("matvec conversions: %+v", s)
+	}
+	if s.CrossbarReads != 2*8*8 { // all 8 word-lines driven, both polarities
+		t.Fatalf("matvec reads: %+v", s)
+	}
+	if s.BufferBytes != (8+6)*8 || s.EnergyFJ == 0 {
+		t.Fatalf("matvec buffer/energy: %+v", s)
+	}
+
+	// an all-zero input drives nothing and charges nothing
+	before := ctr.Snapshot()
+	tl.MatVecInto(out, make([]float64, 8))
+	if ctr.Snapshot() != before {
+		t.Fatal("idle pass charged")
+	}
+
+	prev := ctr.SetClass(ClassMonitor)
+	buf := tensor.New(6, 8)
+	tl.EffectiveWeightsInto(buf)
+	m := ctr.Snapshot().Monitor
+	if m.CrossbarReads != 2*8*6 || m.BufferBytes != 8*6*8 {
+		t.Fatalf("readout charge: %+v", m)
+	}
+	ctr.SetClass(prev)
+
+	ctr.SetClass(ClassRepair)
+	tl.Reprogram()
+	rep := ctr.Snapshot().Repair
+	if rep.CrossbarWrites != 2*8*8 { // both full arrays rewritten
+		t.Fatalf("reprogram writes: %+v", rep)
+	}
+	tl.InjectStuckAt(0.5, 0.3)
+	pre := ctr.Snapshot().Repair
+	tl.RemapStuck(1, 0.05)
+	post := ctr.Snapshot().Repair
+	if post.CrossbarWrites <= pre.CrossbarWrites {
+		t.Fatal("remap pass charged no writes")
+	}
+	ctr.SetClass(ClassServing)
+}
+
+func TestChargeIsAllocationFree(t *testing.T) {
+	ctr := NewCounter()
+	c := Cost{ComputeCycles: 3, DACConversions: 4, ADCConversions: 5,
+		CrossbarReads: 6, CrossbarWrites: 7, EnergyFJ: 8, BufferBytes: 9}
+	if allocs := testing.AllocsPerRun(100, func() {
+		ctr.Charge(c)
+		_ = ctr.Snapshot()
+	}); allocs != 0 {
+		t.Fatalf("Charge+Snapshot allocates %.0f/op, want 0", allocs)
+	}
+}
+
+func TestMatVecCostModel(t *testing.T) {
+	cfg := Config{TileRows: 128, TileCols: 128, DACBits: 8, ADCBits: 8, Device: DefaultDeviceParams()}
+	c := MatVecCost(130, 200, cfg, false) // 2 row tiles × 2 col tiles
+	if c.ComputeCycles != 4 || c.DACConversions != 200 || c.ADCConversions != 2*4*128 {
+		t.Fatalf("model: %+v", c)
+	}
+	if c.CrossbarReads != 0 {
+		t.Fatal("sparse model charged reads")
+	}
+	d := MatVecCost(130, 200, cfg, true)
+	if d.CrossbarReads != 2*130*200 {
+		t.Fatalf("dense model reads: %+v", d)
+	}
+	if d.EnergyFJ <= c.EnergyFJ {
+		t.Fatal("dense model not costlier")
+	}
+}

@@ -83,9 +83,15 @@ type Crossbar struct {
 	target     []float64 // intended conductances
 	actual     []float64 // programmed conductances incl. variation/drift
 	state      []CellState
-	spares     int // spare word-lines still available for RemapRow
+	spares     int      // spare word-lines still available for RemapRow
+	counter    *Counter // nil = unmetered; see cost.go
 	r          *rng.RNG
 }
+
+// SetCounter attaches a cost counter; nil detaches. Reads, writes and their
+// energy charge here; conversions and cycles charge at the TiledLinear layer
+// that owns the DACs/ADCs.
+func (x *Crossbar) SetCounter(c *Counter) { x.counter = c }
 
 // NewCrossbar allocates an array with every cell at HRS. Fabrication
 // stuck-at faults are drawn immediately from dev's rates.
@@ -138,6 +144,7 @@ func (x *Crossbar) Program(g *tensor.Tensor) {
 		}
 		x.actual[i] = a
 	}
+	x.counter.Charge(writeCost(uint64(x.Rows) * uint64(x.Cols)))
 }
 
 // Conductance returns the effective conductance of cell (i, j), accounting
@@ -164,10 +171,12 @@ func (x *Crossbar) MatVec(v, out []float64) {
 	for j := range out {
 		out[j] = 0
 	}
+	activeRows := 0
 	for i, vi := range v {
 		if vi == 0 {
 			continue
 		}
+		activeRows++
 		row := x.actual[i*x.Cols : (i+1)*x.Cols]
 		st := x.state[i*x.Cols : (i+1)*x.Cols]
 		for j, g := range row {
@@ -180,6 +189,7 @@ func (x *Crossbar) MatVec(v, out []float64) {
 			out[j] += vi * g
 		}
 	}
+	x.counter.Charge(readCost(uint64(activeRows) * uint64(x.Cols)))
 }
 
 // AdvanceTime ages the array by hours: conductances drift toward HRS with

@@ -41,9 +41,25 @@ type TiledLinear struct {
 	rowTiles int
 	colTiles int
 	dac      Quantizer
+	counter  *Counter // nil = unmetered; shared with every tile's crossbars
+	passCost Cost     // data-independent per-MatVec charge, precomputed
 	// MatVecInto staging, allocated once at map time. These make TiledLinear
 	// a single-goroutine object, like the nn layers it stands in for.
 	vin, ip, in []float64
+}
+
+// SetCounter attaches a cost counter to the layer and all of its crossbars;
+// nil detaches. Conversion, cycle and buffer charges land at this layer
+// (which owns the DACs/ADCs and staging buffers); read/write charges land in
+// the crossbars they touch.
+func (t *TiledLinear) SetCounter(c *Counter) {
+	t.counter = c
+	for _, row := range t.tiles {
+		for i := range row {
+			row[i].pos.SetCounter(c)
+			row[i].neg.SetCounter(c)
+		}
+	}
 }
 
 type tilePair struct {
@@ -66,6 +82,7 @@ func MapLinear(w *tensor.Tensor, cfg Config, r *rng.RNG) *TiledLinear {
 		rowTiles: (in + cfg.TileRows - 1) / cfg.TileRows,
 		colTiles: (out + cfg.TileCols - 1) / cfg.TileCols,
 		dac:      Quantizer{Bits: cfg.DACBits, Lo: 0, Hi: 1},
+		passCost: MatVecCost(out, in, cfg, false),
 		vin:      make([]float64, cfg.TileRows),
 		ip:       make([]float64, cfg.TileCols),
 		in:       make([]float64, cfg.TileCols),
@@ -198,8 +215,11 @@ func (t *TiledLinear) MatVecInto(out, x []float64) {
 		}
 	}
 	if vmax == 0 {
-		return
+		return // all word-lines idle: no conversions, no charge
 	}
+	// data-independent pass charge (conversions, cycles, buffer traffic);
+	// the crossbars below charge their own data-dependent reads
+	t.counter.Charge(t.passCost)
 	vin, ip, in := t.vin, t.ip, t.in
 	for rt := 0; rt < t.rowTiles; rt++ {
 		// load, range-normalise and DAC-quantize this tile row's inputs
@@ -242,6 +262,10 @@ func (t *TiledLinear) EffectiveWeights() *tensor.Tensor {
 // reused across readouts without clearing.
 func (t *TiledLinear) EffectiveWeightsInto(w *tensor.Tensor) {
 	tensor.AssertDims("reram.EffectiveWeightsInto", w, t.Out, t.In)
+	// a full differential scan: both polarities of every mapped cell read
+	// once, the weight view drained to the digital buffer
+	cells := 2 * uint64(t.In) * uint64(t.Out)
+	t.counter.Charge(readCost(cells).Plus(Cost{BufferBytes: uint64(t.In) * uint64(t.Out) * 8}))
 	wd := w.Data()
 	for rt := 0; rt < t.rowTiles; rt++ {
 		for ct := 0; ct < t.colTiles; ct++ {
@@ -307,3 +331,15 @@ func (t *TiledLinear) Reprogram() {
 
 // TileCount returns the number of crossbar arrays used (both polarities).
 func (t *TiledLinear) TileCount() int { return 2 * t.rowTiles * t.colTiles }
+
+// commissionCost is the write cost of programming every cell in every array
+// once — what a full in-field (re)deployment of this layer's weights costs.
+func (t *TiledLinear) commissionCost() Cost {
+	var cells uint64
+	for _, row := range t.tiles {
+		for _, tp := range row {
+			cells += uint64(tp.pos.Rows)*uint64(tp.pos.Cols) + uint64(tp.neg.Rows)*uint64(tp.neg.Cols)
+		}
+	}
+	return writeCost(cells)
+}

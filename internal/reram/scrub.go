@@ -62,6 +62,9 @@ func (x *Crossbar) Scrub(tol float64) (scanned, rewritten int) {
 			rewritten++
 		}
 	}
+	// a scrub reads every healthy cell and pulses only the out-of-band ones —
+	// the cost profile that makes it the cheapest repair rung
+	x.counter.Charge(readCost(uint64(scanned)).Plus(writeCost(uint64(rewritten))))
 	return scanned, rewritten
 }
 
@@ -99,6 +102,7 @@ func (x *Crossbar) RemapRow(i int) bool {
 		}
 		x.actual[idx] = g
 	}
+	x.counter.Charge(writeCost(uint64(x.Cols)))
 	return true
 }
 
@@ -114,6 +118,7 @@ func (x *Crossbar) ProgramCell(i, j int, g float64) {
 		a = clampG(g*x.r.LogNormal(0, x.dev.ProgramSigma), x.dev)
 	}
 	x.actual[idx] = a
+	x.counter.Charge(writeCost(1))
 }
 
 // State returns the fault state of cell (i, j).

@@ -53,6 +53,7 @@ import (
 	"reramtest/internal/fleet"
 	"reramtest/internal/journal"
 	"reramtest/internal/monitor"
+	"reramtest/internal/reram"
 	"reramtest/internal/tensor"
 )
 
@@ -127,6 +128,11 @@ type Response struct {
 	// Retried: the primary attempt faulted and this answer came from the
 	// immediate retry on another device.
 	Retried bool
+	// Cost is the measured hardware spend of the attempt that produced this
+	// answer (the winning device's serving-class counter delta; abandoned
+	// hedge attempts still charge their own device but are not reported
+	// here). Zero when the device is unmetered.
+	Cost reram.Cost
 }
 
 // Stats is a snapshot of the server's lifetime counters. For a drained
@@ -357,6 +363,7 @@ type attemptResult struct {
 	status monitor.Status
 	hedge  bool
 	retry  bool
+	cost   reram.Cost
 	err    error
 }
 
@@ -396,6 +403,7 @@ func (s *Server) handle(p *pending) {
 					Degraded: r.status == monitor.Degraded,
 					Hedged:   r.hedge,
 					Retried:  r.retry,
+					Cost:     r.cost,
 				}, nil)
 				return
 			}
@@ -444,38 +452,39 @@ func (s *Server) launchAttempt(id string, status monitor.Status, hedge, retry bo
 	go func() {
 		defer s.attemptWG.Done()
 		defer s.sup.Complete(id)
-		probs, err := s.runOn(id, x)
+		probs, cost, err := s.runOn(id, x)
 		if err != nil {
 			s.reportFault(id)
 		}
-		resCh <- attemptResult{probs: probs, device: id, status: status, hedge: hedge, retry: retry, err: err}
+		resCh <- attemptResult{probs: probs, device: id, status: status, hedge: hedge, retry: retry, cost: cost, err: err}
 	}()
 }
 
-// runOn executes one guarded readout on device id and validates the answer.
-func (s *Server) runOn(id string, x *tensor.Tensor) (probs *tensor.Tensor, err error) {
+// runOn executes one guarded serving inference on device id, validates the
+// answer and reports its measured hardware spend.
+func (s *Server) runOn(id string, x *tensor.Tensor) (probs *tensor.Tensor, cost reram.Cost, err error) {
 	st := s.stations[id]
 	if st == nil {
-		return nil, fmt.Errorf("serve: router chose unknown device %q", id)
+		return nil, cost, fmt.Errorf("serve: router chose unknown device %q", id)
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			probs, err = nil, fmt.Errorf("serve: device %s panicked mid-request: %v", id, r)
 		}
 	}()
-	out := st.guardedInfer(x)
+	out, cost := st.ServeInfer(x)
 	if out == nil {
-		return nil, fmt.Errorf("serve: device %s returned no output", id)
+		return nil, cost, fmt.Errorf("serve: device %s returned no output", id)
 	}
 	if out.Rank() != 2 || out.Dim(0) != x.Dim(0) {
-		return nil, fmt.Errorf("serve: device %s returned a malformed batch", id)
+		return nil, cost, fmt.Errorf("serve: device %s returned a malformed batch", id)
 	}
 	for _, v := range out.Data() {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("serve: device %s returned non-finite confidences", id)
+			return nil, cost, fmt.Errorf("serve: device %s returned non-finite confidences", id)
 		}
 	}
-	return out, nil
+	return out, cost, nil
 }
 
 // reportFault feeds one serving-path fault into the fleet's breaker.
@@ -534,6 +543,17 @@ func (s *Server) Stats() Stats {
 		Hedges:         s.hedges.Load(),
 		Retries:        s.retries.Load(),
 	}
+}
+
+// CostStats snapshots every station's cumulative hardware spend by
+// attribution class, keyed by device ID. Counters are read live (atomic
+// loads concurrent with serving); unmetered devices report zero.
+func (s *Server) CostStats() map[string]reram.CostBreakdown {
+	out := make(map[string]reram.CostBreakdown, len(s.stations))
+	for id, st := range s.stations {
+		out[id] = st.CostCounter().Snapshot()
+	}
+	return out
 }
 
 // Close stops admission, drains every already-admitted request (each one

@@ -8,6 +8,7 @@ import (
 	"reramtest/internal/monitor"
 	"reramtest/internal/nn"
 	"reramtest/internal/repair"
+	"reramtest/internal/reram"
 	"reramtest/internal/tensor"
 	"reramtest/internal/testgen"
 )
@@ -53,6 +54,12 @@ func (st *Station) Infer() monitor.Infer { return st.guardedInfer }
 func (st *Station) guardedInfer(x *tensor.Tensor) *tensor.Tensor {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// attribution happens inside the lock so a class switch can never bleed
+	// into another caller's inference on the same device: every charge the
+	// device makes happens under st.mu, and so does every switch
+	ctr := st.CostCounter()
+	prev := ctr.SetClass(reram.ClassMonitor)
+	defer ctr.SetClass(prev)
 	out := st.dev.Infer()(x)
 	if out == nil {
 		return nil
@@ -60,6 +67,34 @@ func (st *Station) guardedInfer(x *tensor.Tensor) *tensor.Tensor {
 	// copy out before unlocking: device Infer implementations (engine.Probs,
 	// plants) return views of reused internal buffers
 	return out.Clone()
+}
+
+// ServeInfer is the serving-path twin of the guarded readout: same lock,
+// same copy-out discipline, but charges the device's cost counter under
+// ClassServing and reports the request's measured hardware spend (the
+// serving-class delta across the call; zero for unmetered devices).
+func (st *Station) ServeInfer(x *tensor.Tensor) (out *tensor.Tensor, cost reram.Cost) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ctr := st.CostCounter()
+	prev := ctr.SetClass(reram.ClassServing)
+	defer ctr.SetClass(prev)
+	before := ctr.Snapshot().Serving
+	out = st.dev.Infer()(x)
+	cost = ctr.Snapshot().Serving.Minus(before)
+	if out == nil {
+		return nil, cost
+	}
+	return out.Clone(), cost
+}
+
+// CostCounter implements fleet.CostMetered by forwarding to the wrapped
+// device; nil when the device is unmetered.
+func (st *Station) CostCounter() *reram.Counter {
+	if cm, ok := st.dev.(fleet.CostMetered); ok {
+		return cm.CostCounter()
+	}
+	return nil
 }
 
 // Repairer returns the device's repairer behind the station lock — a repair
@@ -81,5 +116,8 @@ type lockedRepairer struct {
 func (lr lockedRepairer) Apply(a repair.Action) (*nn.Network, error) {
 	lr.st.mu.Lock()
 	defer lr.st.mu.Unlock()
+	ctr := lr.st.CostCounter()
+	prev := ctr.SetClass(reram.ClassRepair)
+	defer ctr.SetClass(prev)
 	return lr.inner.Apply(a)
 }

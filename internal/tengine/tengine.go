@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"reramtest/internal/nn"
+	"reramtest/internal/hwcost"
 	"reramtest/internal/tensor"
 )
 
@@ -57,6 +58,15 @@ type Options struct {
 	// input-gradient consumers (O-TP synthesis, FGSM) set this — Eq. 1 only
 	// ever reads dL/d(input), and the legacy path had no way to say so.
 	NoParamGrads bool
+	// Counter receives the plan's modeled hardware charges; nil compiles a
+	// private one. Pass the owning device's counter (under ClassRepair for a
+	// retraining repair) so training spend lands on the device's meter. The
+	// type is identical to reram.Counter (an alias of hwcost.Counter).
+	Counter *hwcost.Counter
+	// CostTileRows/CostTileCols supply the crossbar organisation the per-step
+	// cost is modeled against; ≤ 0 selects the hwcost defaults (which match
+	// reram.DefaultConfig()).
+	CostTileRows, CostTileCols int
 }
 
 // step is one compiled compute layer: its kernels, its workspaces, and the
@@ -104,6 +114,9 @@ type Engine struct {
 	wg        sync.WaitGroup
 
 	capN, curN int
+
+	counter *hwcost.Counter // never nil after Compile
+	perStep hwcost.Cost     // modeled hardware cost of one sample's fwd+bwd
 
 	lossBuf  []float64      // dL/d(logits) workspace
 	lossGrad *tensor.Tensor // (curN, outVol) view of lossBuf
@@ -203,6 +216,17 @@ func Compile(net *nn.Network, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("tengine: network %q has no trainable compute layers", net.Name())
 	}
 	e.outVol = vol
+	e.counter = opts.Counter
+	if e.counter == nil {
+		e.counter = hwcost.NewCounter()
+	}
+	// One training step prices at 3× the forward model per sample: the
+	// backward pass re-drives every layer twice (dL/d(input) plus the
+	// parameter-gradient fold), the standard accounting for in-situ training.
+	for _, s := range e.steps {
+		e.perStep.Add(hwcost.ModelLayerCost(s.layer, s.inVol, s.outVol,
+			opts.CostTileRows, opts.CostTileCols).Scale(3))
+	}
 	if opts.MaxBatch > 0 {
 		e.setBatch(opts.MaxBatch)
 	}
@@ -227,6 +251,13 @@ func (e *Engine) InDim() int { return e.inDim }
 
 // OutDim returns the flattened per-sample output (logit) size.
 func (e *Engine) OutDim() int { return e.outVol }
+
+// StepCost returns the modeled per-sample hardware cost of one training step
+// (forward + backward; see Options.CostTileRows/CostTileCols).
+func (e *Engine) StepCost() hwcost.Cost { return e.perStep }
+
+// Counter returns the counter the plan charges; never nil.
+func (e *Engine) Counter() *hwcost.Counter { return e.counter }
 
 // setBatch sizes workspaces and rebuilds the (n, vol) views. Buffers grow
 // when n exceeds capacity; views are rebuilt only when n changes, so a steady
@@ -328,6 +359,7 @@ func (e *Engine) backward() {
 // gradient is available from InputGrad() when compiled with the tap. Returns
 // the loss. Steady state performs zero heap allocations.
 func (e *Engine) ForwardBackward(x *tensor.Tensor, labels []int) float64 {
+	e.counter.Charge(e.perStep.Scale(uint64(x.Dim(0))))
 	logits := e.forward(x)
 	loss := nn.CrossEntropyInto(e.lossGrad, logits, labels)
 	e.backward()
@@ -337,6 +369,7 @@ func (e *Engine) ForwardBackward(x *tensor.Tensor, labels []int) float64 {
 // ForwardBackwardSoft is ForwardBackward against target probability
 // distributions (label smoothing, the O-TP soft/hard constraint terms).
 func (e *Engine) ForwardBackwardSoft(x, target *tensor.Tensor) float64 {
+	e.counter.Charge(e.perStep.Scale(uint64(x.Dim(0))))
 	logits := e.forward(x)
 	loss := nn.SoftCrossEntropyInto(e.lossGrad, logits, target)
 	e.backward()
