@@ -2,10 +2,10 @@
 #
 #   make check   vet + build + full test suite + race detector on the
 #                hardened-runtime packages + short campaign, fleet,
-#                serving-chaos, network-tier and repair-ladder lifetime soak
-#                smokes + a short fuzz pass over the
-#                journal decoder + the batched inference and training
-#                performance gates (bench-smoke)
+#                serving-chaos, network-tier, crash/disk-fault and
+#                repair-ladder lifetime soak smokes + a short fuzz pass over
+#                the journal record and snapshot decoders + the batched
+#                inference and training performance gates (bench-smoke)
 #   make bench-smoke  gate the batched monitor readout and the engine
 #                training step against the committed baseline ratios (min
 #                speedup over the legacy paths, max allocs/op), after
@@ -17,6 +17,8 @@
 #   make lifetime-soak  the full 9-seed repair-ladder lifetime soak
 #   make net-soak  the full network-tier chaos soak (4 × 250k-request
 #                campaigns = the million-request gate)
+#   make crash-soak  the full durable-state torture matrix (8 seeded
+#                matrices of crash-point × disk-fault cells)
 
 GO ?= go
 
@@ -31,10 +33,10 @@ RACE_PKGS = ./internal/health/... ./internal/campaign/... ./internal/monitor/...
 
 .PHONY: check vet build test race-fast race soak-smoke soak \
         fleet-soak-smoke fleet-soak serve-soak-smoke serve-soak \
-        net-soak-smoke net-soak \
+        net-soak-smoke net-soak crash-soak-smoke crash-soak \
         lifetime-soak-smoke lifetime-soak fuzz-short bench-smoke
 
-check: vet build test race-fast soak-smoke fleet-soak-smoke serve-soak-smoke net-soak-smoke lifetime-soak-smoke fuzz-short bench-smoke
+check: vet build test race-fast soak-smoke fleet-soak-smoke serve-soak-smoke net-soak-smoke crash-soak-smoke lifetime-soak-smoke fuzz-short bench-smoke
 	@echo "check: PASS"
 
 vet:
@@ -103,10 +105,23 @@ net-soak-smoke:
 net-soak:
 	$(GO) run ./cmd/monitor -net-soak -campaigns 4 -net-requests 250000
 
-# short coverage-guided pass over the journal record decoder (the committed
-# corpus under internal/journal/testdata/fuzz seeds it)
+# durable-state torture matrix: every (crash point × disk fault) cell runs a
+# seeded fleet campaign over the snapshot-compacting journal store, kills it,
+# injects the fault (torn tails, torn renames, corrupt snapshots, ENOSPC,
+# failed fsyncs, crash-at-byte tears), recovers, and gates on bit-identical
+# state, bounded WAL size and zero acknowledged-then-lost writes
+crash-soak-smoke:
+	$(GO) run ./cmd/monitor -crash-soak -campaigns 2 -devices 2
+
+crash-soak:
+	$(GO) run ./cmd/monitor -crash-soak -campaigns 8 -devices 3
+
+# short coverage-guided pass over the journal record decoder and the snapshot
+# decoder (the committed corpus under internal/journal/testdata/fuzz seeds
+# both; go's fuzzer takes one target per invocation)
 fuzz-short:
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzDecodeAll -fuzztime=10s
+	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=10s
 
 # performance gate on the batch-first inference AND training engines, plus
 # the hardware cost accounting layer: the batched monitor readout must stay

@@ -69,6 +69,7 @@ func main() {
 	lifetimeSoak := flag.Bool("lifetime-soak", false, "run the three-arm repair-ladder lifetime soak instead of the demo")
 	serveSoak := flag.Bool("serve-soak", false, "run the serving-frontend chaos soak instead of the demo")
 	netSoak := flag.Bool("net-soak", false, "run the network-tier chaos soak instead of the demo")
+	crashSoak := flag.Bool("crash-soak", false, "run the durable-state crash/disk-fault torture matrix instead of the demo")
 	cost := flag.Bool("cost", false, "run a plant-scale workload and print the per-class hardware cost breakdown")
 	netRequests := flag.Int("net-requests", 0, "net-soak: requests per campaign (0 = smoke default)")
 	campaigns := flag.Int("campaigns", 20, "soak: number of seeded campaigns")
@@ -89,6 +90,9 @@ func main() {
 	}
 	if *netSoak {
 		os.Exit(runNetSoak(*seed, *campaigns, *netRequests))
+	}
+	if *crashSoak {
+		os.Exit(runCrashSoak(*seed, *campaigns, *devices))
 	}
 	if *cost {
 		os.Exit(runCost(*seed, *rounds))
@@ -408,6 +412,50 @@ func runLifetimeSoak(seed int64, campaigns, rounds, devices int) int {
 // uninterrupted and with mid-campaign supervisor crashes (torn journal
 // tails included) — and the gate demands zero divergence between the two.
 // Returns the process exit code: 0 when the gate holds.
+// runCrashSoak executes the durable-state torture matrix: every
+// (crash point × disk fault) cell runs a seeded fleet campaign over the
+// snapshot-compacting journal store, kills it, injects the fault, recovers,
+// and gates on bit-identical state, bounded WAL size and zero writes that
+// were acknowledged and then lost. One matrix runs per campaign seed.
+func runCrashSoak(seed int64, campaigns, devices int) int {
+	cfg := campaign.DefaultCrashSoakConfig()
+	cfg.Devices = devices
+	faults := campaign.AllFaults()
+	fmt.Printf("crash soak: %d matrices × (%d crash points × %d faults), %d devices × %d rounds, base seed %d\n",
+		campaigns, len(cfg.CrashPoints), len(faults), cfg.Devices, cfg.Rounds, seed)
+	fmt.Printf("compaction every %d rounds or %d bytes; WAL gated at 2×threshold + one record\n",
+		cfg.Fleet.CompactEvery, cfg.CompactBytes)
+	exit := 0
+	for i := 0; i < campaigns; i++ {
+		res, err := campaign.RunCrashSoak(seed+int64(i), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crash soak:", err)
+			return 1
+		}
+		identical, degraded := 0, 0
+		for _, c := range res.Cells {
+			if c.StateMatch {
+				identical++
+			}
+			if c.Degraded {
+				degraded++
+			}
+		}
+		fmt.Printf("seed %d: %d/%d cells recovered bit-identical, %d degraded to memory-only, WAL peak %d of %d bytes\n",
+			res.Seed, identical, len(res.Cells), degraded, res.MaxWALBytes, res.WALBound)
+		for _, f := range res.Failures() {
+			fmt.Fprintln(os.Stderr, "  FAIL:", f)
+			exit = 1
+		}
+	}
+	if exit != 0 {
+		fmt.Fprintln(os.Stderr, "\nGATE FAILED: durable-state matrix has failing cells")
+		return exit
+	}
+	fmt.Println("\ngate: PASS")
+	return 0
+}
+
 func runFleetSoak(seed int64, campaigns, rounds, devices int) int {
 	cfg := campaign.DefaultFleetSoakConfig()
 	cfg.Rounds = rounds

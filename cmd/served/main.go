@@ -19,13 +19,10 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"reramtest/internal/campaign"
@@ -91,22 +88,10 @@ func main() {
 
 	hs := &http.Server{Addr: *addr, Handler: f.Handler()}
 	done := make(chan struct{})
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	sig := drainSignals()
 	go func() {
 		defer close(done)
-		s := <-sig
-		fmt.Printf("served: %v — draining %d shard(s)\n", s, *shards)
-		close(stopTicks)
-		if cerr := f.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "served: drain:", cerr)
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		hs.Shutdown(ctx)
-		st := f.Stats()
-		fmt.Printf("served: drained — received %d, completed %d (degraded %d), admitted==terminal: %v\n",
-			st.Received, st.Completed, st.CompletedDegraded, st.Admitted == st.Terminal())
+		drainOnSignal(sig, f, hs, stopTicks, os.Stdout, os.Stderr)
 	}()
 
 	fmt.Printf("served: %d shard(s) × %d device(s), policy %s, input width %d, listening on %s\n",

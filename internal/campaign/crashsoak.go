@@ -1,0 +1,506 @@
+// Crash soak: the durable-state torture matrix. Every cell of
+// (crash point × disk fault) runs the same seeded fleet campaign over a
+// snapshot-compacting journal.Store backed by a fault-injecting filesystem,
+// kills the supervisor, recovers from whatever the disk holds, and compares
+// the recovered state bit for bit against an uninterrupted baseline run of
+// the identical hardware. The gates:
+//
+//   - lossless recovery: after a recoverable fault (plain crash, torn WAL
+//     tail, torn snapshot publish, corrupt newest snapshot generation, torn
+//     compaction rename) the recovered fleet must land on EXACTLY the crash
+//     round with bit-identical state, and finishing the campaign must match
+//     the baseline's final state.
+//   - fail-stop honesty: a fault that poisons the WAL (short write, failed
+//     fsync, ENOSPC, crash-at-byte) must surface as a typed error AND flip
+//     the supervisor to Unjournaled — while supervision itself continues
+//     bit-identically to the baseline, memory-only. Recovery then lands at
+//     or after the last acknowledged round: zero writes acked then lost.
+//   - bounded WAL: across every arm's whole lifetime the WAL never exceeds
+//     ~2× the compaction threshold.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+
+	"reramtest/internal/fleet"
+	"reramtest/internal/journal"
+	"reramtest/internal/monitor"
+)
+
+// Disk-fault kinds, one per torture-matrix column.
+const (
+	// FaultNone is the control column: a clean kill, nothing injected.
+	FaultNone = "none"
+	// FaultTornTail appends a torn frame to the WAL after the kill.
+	FaultTornTail = "torn-tail"
+	// FaultTornSnapshotTmp leaves a half-written snapshot temp file behind,
+	// as a crash between snapshot write and rename would.
+	FaultTornSnapshotTmp = "torn-snapshot-tmp"
+	// FaultCorruptSnapshot flips bytes in the newest snapshot generation;
+	// recovery must fall back a generation, losslessly.
+	FaultCorruptSnapshot = "corrupt-snapshot"
+	// FaultTornRename fails the snapshot publish rename at a compaction
+	// round; journaling must continue and the retried compaction succeed.
+	FaultTornRename = "torn-rename"
+	// FaultShortWrite tears one group-commit append mid-frame.
+	FaultShortWrite = "short-write"
+	// FaultSyncFail fails the group-commit fsync (fsyncgate semantics).
+	FaultSyncFail = "fsync-fail"
+	// FaultNoSpace turns the disk full, permanently.
+	FaultNoSpace = "enospc"
+	// FaultCrashAtByte kills the filesystem mid-write at a byte boundary.
+	FaultCrashAtByte = "crash-at-byte"
+)
+
+// RecoverableFaults leave the on-disk history complete: recovery must be
+// lossless to the exact crash round.
+var RecoverableFaults = []string{
+	FaultNone, FaultTornTail, FaultTornSnapshotTmp, FaultCorruptSnapshot, FaultTornRename,
+}
+
+// FailStopFaults poison the WAL mid-campaign: the supervisor must degrade to
+// memory-only and the disk must still recover every acknowledged round.
+var FailStopFaults = []string{
+	FaultShortWrite, FaultSyncFail, FaultNoSpace, FaultCrashAtByte,
+}
+
+// AllFaults is the full torture-matrix column set.
+func AllFaults() []string {
+	return append(append([]string{}, RecoverableFaults...), FailStopFaults...)
+}
+
+// CrashSoakConfig parameterises the torture matrix.
+type CrashSoakConfig struct {
+	// Devices is the fleet size; Rounds the campaign length of every arm.
+	Devices, Rounds int
+	// Plant sizes each device-under-test.
+	Plant PlantConfig
+	// Fleet tunes the supervisor; Fleet.CompactEvery drives cadence
+	// compaction (must be ≥ 1 so snapshot-dependent faults have a snapshot
+	// to attack).
+	Fleet fleet.Config
+	// CompactBytes is the Store's size-compaction threshold and the base of
+	// the WAL bound (max WAL ≤ 2×CompactBytes + one record).
+	CompactBytes int64
+	// CrashPoints are the rounds after which each fault column strikes.
+	// Every point must be ≥ Fleet.CompactEvery and ≤ Rounds.
+	CrashPoints []int
+	// Faults selects the columns (nil → AllFaults()).
+	Faults []string
+	// DegradedRounds is how many extra memory-only ticks a fail-stop cell
+	// runs after degrading, proving the fleet keeps supervising (0 → 2).
+	DegradedRounds int
+}
+
+// DefaultCrashSoakConfig returns the gate-scale matrix: 3 devices, 12
+// rounds, 3 crash points × all 9 fault columns = 27 cells plus a baseline.
+func DefaultCrashSoakConfig() CrashSoakConfig {
+	fcfg := fleet.DefaultConfig()
+	fcfg.Health = DefaultConfig().Health
+	fcfg.Monitor = monitor.DefaultConfig()
+	fcfg.RepairBudget = 10
+	fcfg.CompactEvery = 3
+	return CrashSoakConfig{
+		Devices: 3, Rounds: 12,
+		Plant:          DefaultPlantConfig(),
+		Fleet:          fcfg,
+		CompactBytes:   16 << 10,
+		CrashPoints:    []int{4, 7, 11},
+		DegradedRounds: 2,
+	}
+}
+
+// CrashCell is one (crash point × fault) outcome.
+type CrashCell struct {
+	Round int    // the crash point
+	Fault string // the fault column
+
+	FaultSurfaced  bool // the injected fault came back as a typed error
+	Degraded       bool // the supervisor flipped to Unjournaled (fail-stop only)
+	LastAcked      int  // last round acknowledged as durable before the kill
+	RecoveredRound int  // round the recovery landed on
+	StateMatch     bool // recovered state bit-identical to baseline at RecoveredRound
+	FinalMatch     bool // campaign finished matching baseline (recoverable cells)
+	MaxWALBytes    int64
+	Failures       []string
+}
+
+// CrashSoakResult is the whole matrix's verdict.
+type CrashSoakResult struct {
+	Seed        int64
+	Cells       []CrashCell
+	MaxWALBytes int64 // across baseline and every cell
+	WALBound    int64 // the bound the max was gated against
+}
+
+// Failures flattens every cell failure, prefixed with its cell coordinates.
+func (r CrashSoakResult) Failures() []string {
+	var out []string
+	for _, c := range r.Cells {
+		for _, f := range c.Failures {
+			out = append(out, fmt.Sprintf("[round=%d fault=%s] %s", c.Round, c.Fault, f))
+		}
+	}
+	return out
+}
+
+// crashBaseline is the uninterrupted arm: per-round durable-state snapshots
+// (index = round; [0] is the commissioned state) plus WAL telemetry.
+type crashBaseline struct {
+	perRound  []map[string]fleet.DeviceSnapshot
+	maxWAL    int64
+	maxRecord int64 // largest single-tick WAL growth observed
+}
+
+// RunCrashSoak executes the torture matrix for one seed.
+func RunCrashSoak(seed int64, cfg CrashSoakConfig) (CrashSoakResult, error) {
+	if cfg.Devices < 1 || cfg.Rounds < 1 {
+		return CrashSoakResult{}, fmt.Errorf("campaign: crash soak needs ≥ 1 device and round, got %d/%d", cfg.Devices, cfg.Rounds)
+	}
+	if cfg.Fleet.CompactEvery < 1 {
+		return CrashSoakResult{}, errors.New("campaign: crash soak requires Fleet.CompactEvery ≥ 1 — snapshot faults need snapshots")
+	}
+	if cfg.CompactBytes <= 0 {
+		cfg.CompactBytes = 16 << 10
+	}
+	if cfg.DegradedRounds == 0 {
+		cfg.DegradedRounds = 2
+	}
+	faults := cfg.Faults
+	if faults == nil {
+		faults = AllFaults()
+	}
+	for _, p := range cfg.CrashPoints {
+		if p < cfg.Fleet.CompactEvery || p > cfg.Rounds {
+			return CrashSoakResult{}, fmt.Errorf("campaign: crash point %d outside [%d, %d]", p, cfg.Fleet.CompactEvery, cfg.Rounds)
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "crash-soak-*")
+	if err != nil {
+		return CrashSoakResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	res := CrashSoakResult{Seed: seed}
+	base, err := runCrashBaseline(seed, cfg, filepath.Join(dir, "base"))
+	if err != nil {
+		return res, fmt.Errorf("campaign: crash-soak baseline: %w", err)
+	}
+	res.MaxWALBytes = base.maxWAL
+	res.WALBound = 2*cfg.CompactBytes + base.maxRecord
+
+	for _, point := range cfg.CrashPoints {
+		for _, fault := range faults {
+			cell := runCrashCell(seed, cfg, filepath.Join(dir, fmt.Sprintf("r%02d-%s", point, fault)), point, fault, base)
+			if cell.MaxWALBytes > res.MaxWALBytes {
+				res.MaxWALBytes = cell.MaxWALBytes
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	if res.MaxWALBytes > res.WALBound {
+		res.Cells = append(res.Cells, CrashCell{Fault: "wal-bound", Failures: []string{
+			fmt.Sprintf("WAL peaked at %d bytes, bound %d (2×%d + %d-byte record)",
+				res.MaxWALBytes, res.WALBound, cfg.CompactBytes, base.maxRecord)}})
+	}
+	return res, nil
+}
+
+// runCrashBaseline runs the uninterrupted arm and records every round's
+// durable state.
+func runCrashBaseline(seed int64, cfg CrashSoakConfig, dir string) (*crashBaseline, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	plants, pending, devices, _ := buildFleetHardware(seed, cfg.Devices, cfg.Rounds, cfg.Plant)
+	st, _, err := journal.OpenStore(filepath.Join(dir, "fleet.wal"),
+		journal.StoreConfig{CompactBytes: cfg.CompactBytes})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	sup, err := fleet.NewStore(devices, cfg.Fleet, st)
+	if err != nil {
+		return nil, err
+	}
+	base := &crashBaseline{perRound: make([]map[string]fleet.DeviceSnapshot, cfg.Rounds+1)}
+	base.perRound[0] = sup.Snapshot()
+	base.maxWAL = st.Size()
+	for round := 1; round <= cfg.Rounds; round++ {
+		applyRoundEvents(plants, pending, round)
+		before := st.Size()
+		if _, err := sup.Tick(); err != nil {
+			return nil, fmt.Errorf("round %d: %w", round, err)
+		}
+		if grew := st.Size() - before; grew > base.maxRecord {
+			base.maxRecord = grew
+		}
+		if st.Size() > base.maxWAL {
+			base.maxWAL = st.Size()
+		}
+		base.perRound[round] = sup.Snapshot()
+	}
+	return base, nil
+}
+
+// isFailStop reports whether fault poisons the live WAL writer.
+func isFailStop(fault string) bool {
+	for _, f := range FailStopFaults {
+		if f == fault {
+			return true
+		}
+	}
+	return false
+}
+
+// armFault schedules a fail-stop fault (or the torn rename) on the injected
+// filesystem, to strike during the next tick's journaling.
+func armFault(efs *journal.ErrFS, fault string) {
+	switch fault {
+	case FaultShortWrite:
+		efs.ShortWriteNext(5)
+	case FaultSyncFail:
+		efs.FailNextSync(1)
+	case FaultNoSpace:
+		efs.SetNoSpace(true)
+	case FaultCrashAtByte:
+		efs.CrashAtByte(efs.BytesWritten() + 17)
+	case FaultTornRename:
+		efs.FailNextRename()
+	}
+}
+
+// newestSnapshotFile returns the newest on-disk snapshot generation of the
+// WAL at path ("" when none exists).
+func newestSnapshotFile(path string) string {
+	matches, err := filepath.Glob(path + ".snap-*")
+	if err != nil {
+		return ""
+	}
+	var gens []string
+	for _, m := range matches {
+		if !strings.HasSuffix(m, ".tmp") {
+			gens = append(gens, m)
+		}
+	}
+	if len(gens) == 0 {
+		return ""
+	}
+	sort.Strings(gens) // %016x names sort lexicographically by generation
+	return gens[len(gens)-1]
+}
+
+// runCrashCell executes one torture-matrix cell.
+func runCrashCell(seed int64, cfg CrashSoakConfig, dir string, crashRound int, fault string, base *crashBaseline) CrashCell {
+	cell := CrashCell{Round: crashRound, Fault: fault}
+	fail := func(format string, args ...any) {
+		cell.Failures = append(cell.Failures, fmt.Sprintf(format, args...))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail("mkdir: %v", err)
+		return cell
+	}
+	plants, pending, devices, _ := buildFleetHardware(seed, cfg.Devices, cfg.Rounds, cfg.Plant)
+	path := filepath.Join(dir, "fleet.wal")
+	efs := journal.NewErrFS(nil)
+	scfg := journal.StoreConfig{FS: efs, CompactBytes: cfg.CompactBytes}
+	st, _, err := journal.OpenStore(path, scfg)
+	if err != nil {
+		fail("open store: %v", err)
+		return cell
+	}
+	sup, err := fleet.NewStore(devices, cfg.Fleet, st)
+	if err != nil {
+		fail("commission: %v", err)
+		return cell
+	}
+
+	failStop := isFailStop(fault)
+	// the torn rename strikes the last compaction round at or before the
+	// crash point — the only rounds where a snapshot publish happens
+	renameRound := 0
+	if fault == FaultTornRename {
+		renameRound = crashRound - crashRound%cfg.Fleet.CompactEvery
+	}
+
+	trackWAL := func() {
+		if st.Err() == nil {
+			if sz := st.Size(); sz > cell.MaxWALBytes {
+				cell.MaxWALBytes = sz
+			}
+		}
+	}
+	for round := 1; round <= crashRound; round++ {
+		applyRoundEvents(plants, pending, round)
+		strike := (failStop && round == crashRound) || round == renameRound
+		if strike {
+			armFault(efs, fault)
+		}
+		_, err := sup.Tick()
+		switch {
+		case strike && failStop:
+			if !errors.Is(err, fleet.ErrUnjournaled) {
+				fail("fail-stop fault returned %v, want ErrUnjournaled", err)
+			} else {
+				cell.FaultSurfaced = true
+			}
+			if !errors.Is(sup.JournalError(), journal.ErrInjected) {
+				fail("JournalError %v does not surface the injected fault", sup.JournalError())
+			}
+		case strike: // torn rename: typed compaction error, WAL stays live
+			if !errors.Is(err, journal.ErrInjected) {
+				fail("torn rename returned %v, want ErrInjected", err)
+			} else {
+				cell.FaultSurfaced = true
+			}
+			if sup.Unjournaled() {
+				fail("torn rename degraded the supervisor — the WAL was still healthy")
+			}
+			if sup.CompactionError() == nil {
+				fail("torn rename not remembered in CompactionError")
+			}
+		case err != nil:
+			fail("round %d: unexpected tick error %v", round, err)
+		}
+		if err == nil && !sup.Unjournaled() {
+			cell.LastAcked = round
+		}
+		trackWAL()
+	}
+	if fault == FaultNone || fault == FaultTornTail || fault == FaultTornSnapshotTmp || fault == FaultCorruptSnapshot {
+		cell.FaultSurfaced = true // these strike the dead disk; surfacing is judged at recovery
+	}
+	cell.Degraded = sup.Unjournaled()
+
+	// fail-stop cells: the degraded fleet must keep supervising, memory-only,
+	// bit-identical to the baseline
+	postCrash := crashRound
+	if failStop {
+		if !cell.Degraded {
+			fail("fail-stop fault did not flip the supervisor to Unjournaled")
+		}
+		end := crashRound + cfg.DegradedRounds
+		if end > cfg.Rounds {
+			end = cfg.Rounds
+		}
+		for round := crashRound + 1; round <= end; round++ {
+			applyRoundEvents(plants, pending, round)
+			if _, err := sup.Tick(); err != nil {
+				fail("degraded round %d: %v", round, err)
+			}
+		}
+		postCrash = end
+		if !reflect.DeepEqual(sup.Snapshot(), base.perRound[postCrash]) {
+			fail("degraded supervision diverged from baseline at round %d", postCrash)
+		}
+		if len(sup.Serving()) == 0 && len(servingOf(base.perRound[postCrash])) > 0 {
+			fail("degraded fleet stopped serving while the baseline still served")
+		}
+	}
+
+	// kill the process; dead-disk faults strike now
+	st.Close() // poisoned stores return their sticky error; nothing to save
+	switch fault {
+	case FaultTornTail:
+		if err := appendGarbage(path); err != nil {
+			fail("append garbage: %v", err)
+		}
+	case FaultTornSnapshotTmp:
+		tmp := fmt.Sprintf("%s.snap-%016x.tmp", path, uint64(999))
+		if err := os.WriteFile(tmp, []byte("RSNP torn mid-publish"), 0o644); err != nil {
+			fail("plant torn tmp: %v", err)
+		}
+	case FaultCorruptSnapshot:
+		newest := newestSnapshotFile(path)
+		if newest == "" {
+			fail("no snapshot generation on disk to corrupt — compaction never ran before round %d", crashRound)
+			return cell
+		}
+		img, err := os.ReadFile(newest)
+		if err != nil {
+			fail("read snapshot: %v", err)
+			return cell
+		}
+		img[len(img)/2] ^= 0xFF
+		img[len(img)-3] ^= 0xFF
+		if err := os.WriteFile(newest, img, 0o644); err != nil {
+			fail("corrupt snapshot: %v", err)
+		}
+	}
+
+	// recover from whatever the disk holds
+	efs.Heal()
+	st2, rec, err := journal.OpenStore(path, scfg)
+	if err != nil {
+		fail("recovery open: %v", err)
+		return cell
+	}
+	defer st2.Close()
+	if fault == FaultCorruptSnapshot && rec.SnapshotsSkipped == 0 {
+		fail("corrupt snapshot generation not detected during recovery")
+	}
+	sup2, err := fleet.ResumeStore(devices, cfg.Fleet, st2, rec)
+	if err != nil {
+		fail("resume: %v", err)
+		return cell
+	}
+	cell.RecoveredRound = sup2.Round()
+
+	// gate: zero acknowledged-then-lost writes
+	if cell.RecoveredRound < cell.LastAcked {
+		fail("acked round %d lost: recovery landed on %d", cell.LastAcked, cell.RecoveredRound)
+	}
+	// gate: recovered state bit-identical to the baseline at that round
+	if cell.RecoveredRound <= cfg.Rounds &&
+		reflect.DeepEqual(sup2.Snapshot(), base.perRound[cell.RecoveredRound]) {
+		cell.StateMatch = true
+	} else {
+		fail("recovered state diverges from baseline at round %d", cell.RecoveredRound)
+	}
+
+	if failStop {
+		cell.FinalMatch = cell.StateMatch
+		return cell
+	}
+
+	// recoverable cells: recovery must be lossless to the exact crash round,
+	// and finishing the campaign must match the baseline's final state
+	if cell.RecoveredRound != crashRound {
+		fail("recoverable fault lost rounds: recovered %d, crashed after %d", cell.RecoveredRound, crashRound)
+	}
+	for round := crashRound + 1; round <= cfg.Rounds; round++ {
+		applyRoundEvents(plants, pending, round)
+		if _, err := sup2.Tick(); err != nil {
+			fail("post-recovery round %d: %v", round, err)
+		}
+		if st2.Err() == nil {
+			if sz := st2.Size(); sz > cell.MaxWALBytes {
+				cell.MaxWALBytes = sz
+			}
+		}
+	}
+	if reflect.DeepEqual(sup2.Snapshot(), base.perRound[cfg.Rounds]) {
+		cell.FinalMatch = true
+	} else {
+		fail("final state diverges from the uninterrupted baseline")
+	}
+	return cell
+}
+
+// servingOf counts the devices a snapshot map shows as eligible to serve.
+func servingOf(snaps map[string]fleet.DeviceSnapshot) []string {
+	var out []string
+	for id, s := range snaps {
+		if !s.Retired && s.Breaker.State == fleet.BreakerClosed && s.State.Confirmed <= monitor.Degraded {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -135,18 +135,8 @@ func RunFleet(seed int64, cfg FleetSoakConfig) (FleetResult, error) {
 		return FleetResult{}, fmt.Errorf("campaign: fleet needs ≥ 1 round, got %d", cfg.Rounds)
 	}
 
-	r := rng.New(seed)
-	plants := make([]*Plant, cfg.Devices)
-	pending := make([][]Event, cfg.Devices)
-	devices := make([]fleet.Device, cfg.Devices)
-	res := FleetResult{Seed: seed}
-	for i := range plants {
-		plants[i] = NewPlant(r.Int63(), cfg.Plant)
-		pending[i] = RandomTimeline(r.Split(), cfg.Rounds)
-		id := fmt.Sprintf("accel-%02d", i)
-		devices[i] = fleetDevice{id: id, plant: plants[i]}
-		res.Devices = append(res.Devices, id)
-	}
+	plants, pending, devices, ids := buildFleetHardware(seed, cfg.Devices, cfg.Rounds, cfg.Plant)
+	res := FleetResult{Seed: seed, Devices: ids}
 	// deterministic extended sensor outage on device 0: long enough to trip
 	// the breaker and cool down, short enough that the half-open probe finds
 	// the sensor alive again — every campaign exercises quarantine AND
@@ -182,15 +172,9 @@ func RunFleet(seed int64, cfg FleetSoakConfig) (FleetResult, error) {
 
 	for round := 1; round <= cfg.Rounds; round++ {
 		// inject this round's field events into the hardware
-		for i, p := range plants {
-			p.SetRound(round)
-			for len(pending[i]) > 0 && pending[i][0].Round == round {
-				applyEvent(p, pending[i][0])
-				pending[i] = pending[i][1:]
-			}
-			if i == 0 && round == outage.Round {
-				applyEvent(p, outage)
-			}
+		applyRoundEvents(plants, pending, round)
+		if round == outage.Round {
+			applyEvent(plants[0], outage)
 		}
 		if cfg.ShowerRound > 0 && round == cfg.ShowerRound {
 			// correlated shower: every device disturbed in the same round
@@ -298,6 +282,38 @@ func RunFleet(seed int64, cfg FleetSoakConfig) (FleetResult, error) {
 		res.UntypedRepairErrors += p.UntypedRepairErrors()
 	}
 	return res, nil
+}
+
+// buildFleetHardware constructs the seeded plants, their event timelines and
+// fleet.Device adapters in a FIXED RNG call order: one r.Int63() then one
+// r.Split() per device. Every arm of a parity comparison (RunFleetPair,
+// RunCrashSoak) builds its hardware through this helper, so the same seed
+// always yields bit-identical accelerators and schedules.
+func buildFleetHardware(seed int64, devices, rounds int, pcfg PlantConfig) ([]*Plant, [][]Event, []fleet.Device, []string) {
+	r := rng.New(seed)
+	plants := make([]*Plant, devices)
+	pending := make([][]Event, devices)
+	devs := make([]fleet.Device, devices)
+	ids := make([]string, devices)
+	for i := range plants {
+		plants[i] = NewPlant(r.Int63(), pcfg)
+		pending[i] = RandomTimeline(r.Split(), rounds)
+		ids[i] = fmt.Sprintf("accel-%02d", i)
+		devs[i] = fleetDevice{id: ids[i], plant: plants[i]}
+	}
+	return plants, pending, devs, ids
+}
+
+// applyRoundEvents advances every plant's scripted time to round and lands
+// the timeline events due this round (consuming them from pending).
+func applyRoundEvents(plants []*Plant, pending [][]Event, round int) {
+	for i, p := range plants {
+		p.SetRound(round)
+		for len(pending[i]) > 0 && pending[i][0].Round == round {
+			applyEvent(p, pending[i][0])
+			pending[i] = pending[i][1:]
+		}
+	}
 }
 
 // applyEvent lands one scheduled event on a plant.

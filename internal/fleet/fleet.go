@@ -89,6 +89,12 @@ type Config struct {
 	// median energy and cycle rates since the last schedule rebuild. Off, the
 	// router uses pure health-weighted round-robin (the historical behaviour).
 	CostAwareRouting bool
+	// CompactEvery is the auto-compaction cadence in ticks when the fleet
+	// journals through a journal.Store: every CompactEvery-th tick folds the
+	// WAL into a fresh snapshot generation even before the size threshold
+	// (journal.StoreConfig.CompactBytes) arms. 0 leaves compaction purely
+	// size-triggered. Ignored on the plain Writer path.
+	CompactEvery int
 }
 
 // DefaultConfig returns fleet-reasonable parameters over the default
@@ -117,6 +123,9 @@ func (c Config) Validate() error {
 	}
 	if c.MinServing < 0 {
 		return fmt.Errorf("fleet: MinServing must be ≥ 0, got %d", c.MinServing)
+	}
+	if c.CompactEvery < 0 {
+		return fmt.Errorf("fleet: CompactEvery must be ≥ 0, got %d", c.CompactEvery)
 	}
 	if err := c.Health.Validate(); err != nil {
 		return err
@@ -228,17 +237,39 @@ func (r RoundResult) String() string {
 	}
 }
 
+// ErrUnjournaled marks the moment a supervisor loses its journal to a
+// persistent disk fault and degrades to memory-only operation: the fleet
+// keeps supervising and serving — availability over durability — but a crash
+// from here on loses everything since the last successful group commit. The
+// error is returned exactly once (by the Tick or compaction that hit the
+// fault); afterwards the condition is visible through Unjournaled and
+// JournalError, and surfaces operationally via /statsz.
+var ErrUnjournaled = errors.New("fleet: journal lost to disk fault — supervising memory-only")
+
 // Supervisor runs the fleet. It is not safe for concurrent use: Tick,
 // Dispatch and Complete belong to one owner goroutine (the internal worker
 // pool never escapes a Tick call).
 type Supervisor struct {
 	cfg     Config
 	jw      *journal.Writer
+	store   *journal.Store
 	order   []string
 	states  map[string]*deviceState
 	router  *Router
 	round   int
 	resumes int
+
+	// prevSnapRound is the round of the newest valid snapshot generation:
+	// the next compaction keeps WAL records strictly after it, which is what
+	// makes a fallback to that generation lossless (see journal.Store).
+	prevSnapRound int
+	// unjournaled/journalErr: degrade-to-memory state (see ErrUnjournaled).
+	unjournaled bool
+	journalErr  error
+	// compactErr is the last compaction failure that did NOT poison the WAL
+	// (e.g. a torn snapshot rename) — journaling continues, compaction will
+	// be retried, operators can see the condition.
+	compactErr error
 }
 
 // New commissions a supervisor over devices. jw may be nil (no durability:
@@ -273,19 +304,75 @@ func Resume(devices []Device, cfg Config, jw *journal.Writer, payloads [][]byte)
 	if err != nil {
 		return nil, err
 	}
+	if err := s.restore(snaps, round); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewStore commissions a supervisor journaling through a snapshot-compacting
+// journal.Store instead of a bare Writer. If the commissioning record itself
+// cannot be journaled (the disk is already faulting), the supervisor is
+// still returned, live but memory-only, alongside an error matching
+// ErrUnjournaled — the caller chooses between refusing to start and serving
+// without durability.
+func NewStore(devices []Device, cfg Config, store *journal.Store) (*Supervisor, error) {
+	s, err := build(devices, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.store = store
+	s.prevSnapRound = -1
+	if err := s.appendRecord(recordCommission); err != nil {
+		if errors.Is(err, ErrUnjournaled) {
+			return s, err
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// ResumeStore reconstructs a supervisor from a Store recovery: the newest
+// valid snapshot generation is folded first, then the WAL tail past it
+// (ReplayRecovered). A snapshot-less recovery — a legacy WAL written by the
+// bare-Writer path, or a fleet that never compacted — resumes from records
+// alone, so old journals keep resuming unchanged through this path. The
+// same fingerprint discipline as Resume applies.
+func ResumeStore(devices []Device, cfg Config, store *journal.Store, rec journal.Recovered) (*Supervisor, error) {
+	snaps, round, err := ReplayRecovered(rec)
+	if err != nil {
+		return nil, err
+	}
+	s, err := build(devices, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.store = store
+	s.prevSnapRound = -1
+	if rec.Snapshot != nil {
+		s.prevSnapRound = int(rec.SnapshotSeq)
+	}
+	if err := s.restore(snaps, round); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// restore folds replayed snapshots into a freshly built supervisor.
+func (s *Supervisor) restore(snaps map[string]DeviceSnapshot, round int) error {
 	s.round = round
 	s.resumes = 1
 	for id, snap := range snaps {
 		ds, ok := s.states[id]
 		if !ok {
-			return nil, fmt.Errorf("fleet: journal names device %q not present in the fleet", id)
+			return fmt.Errorf("fleet: journal names device %q not present in the fleet", id)
 		}
 		if got := ds.rt.Monitor().Fingerprint(); got != snap.Fingerprint {
-			return nil, fmt.Errorf("fleet: device %q commission fingerprint %x does not match journaled %x — wrong reference model",
+			return fmt.Errorf("fleet: device %q commission fingerprint %x does not match journaled %x — wrong reference model",
 				id, got, snap.Fingerprint)
 		}
 		if err := ds.rt.RestoreState(snap.State); err != nil {
-			return nil, fmt.Errorf("fleet: device %q: %w", id, err)
+			return fmt.Errorf("fleet: device %q: %w", id, err)
 		}
 		ds.budget = snap.Budget
 		ds.breaker = snap.Breaker
@@ -296,7 +383,7 @@ func Resume(devices []Device, cfg Config, jw *journal.Writer, payloads [][]byte)
 		ds.counter.Restore(snap.Cost)
 	}
 	s.router.Update(s.servingEntries())
-	return s, nil
+	return nil
 }
 
 // build commissions runtimes without journaling.
@@ -382,6 +469,9 @@ func (s *Supervisor) TickCtx(ctx context.Context) ([]RoundResult, error) {
 	wg.Wait()
 
 	err := s.appendRecord(recordTick)
+	if err == nil {
+		err = s.maybeCompact()
+	}
 	s.router.Update(s.servingEntries())
 	return results, err
 }
@@ -464,12 +554,9 @@ func (s *Supervisor) tickDevice(ctx context.Context, ds *deviceState) RoundResul
 	return res
 }
 
-// appendRecord journals the fleet's full durable state as one atomic record
-// and syncs it to stable storage (group commit).
-func (s *Supervisor) appendRecord(kind string) error {
-	if s.jw == nil {
-		return nil
-	}
+// currentRecord captures the fleet's full durable state as one record of the
+// given kind.
+func (s *Supervisor) currentRecord(kind string) Record {
 	rec := Record{Type: kind, Round: s.round, Devices: make([]DeviceRecord, 0, len(s.order))}
 	for _, id := range s.order {
 		ds := s.states[id]
@@ -484,14 +571,99 @@ func (s *Supervisor) appendRecord(kind string) error {
 			Cost:        ds.counter.Snapshot(),
 		})
 	}
-	payload, err := encodeRecord(rec)
+	return rec
+}
+
+// Checkpoint renders the fleet's full durable state as one snapshot-record
+// payload — what Compact publishes as a snapshot generation, and what
+// operators can pull for an out-of-band state dump.
+func (s *Supervisor) Checkpoint() ([]byte, error) {
+	return encodeRecord(s.currentRecord(recordSnapshot))
+}
+
+// appendRecord journals the fleet's full durable state as one atomic record
+// and syncs it to stable storage (group commit). On the Store path a
+// journaling failure degrades the supervisor to memory-only operation (see
+// ErrUnjournaled) instead of propagating raw I/O errors forever.
+func (s *Supervisor) appendRecord(kind string) error {
+	if (s.jw == nil && s.store == nil) || s.unjournaled {
+		return nil
+	}
+	payload, err := encodeRecord(s.currentRecord(kind))
 	if err != nil {
 		return err
+	}
+	if s.store != nil {
+		if err := s.store.Append(payload); err != nil {
+			return s.degrade(err)
+		}
+		if err := s.store.Sync(); err != nil {
+			return s.degrade(err)
+		}
+		return nil
 	}
 	if err := s.jw.Append(payload); err != nil {
 		return err
 	}
 	return s.jw.Sync()
+}
+
+// degrade flips the supervisor into memory-only mode and returns the
+// one-time ErrUnjournaled notification.
+func (s *Supervisor) degrade(cause error) error {
+	s.unjournaled = true
+	s.journalErr = cause
+	return fmt.Errorf("%w (cause: %v)", ErrUnjournaled, cause)
+}
+
+// maybeCompact runs auto-compaction when the WAL crossed its size threshold
+// or the configured tick cadence came due.
+func (s *Supervisor) maybeCompact() error {
+	if s.store == nil || s.unjournaled {
+		return nil
+	}
+	due := s.store.ShouldCompact()
+	if s.cfg.CompactEvery > 0 && s.round > 0 && s.round%s.cfg.CompactEvery == 0 {
+		due = true
+	}
+	if !due {
+		return nil
+	}
+	return s.CompactNow()
+}
+
+// CompactNow folds the current fleet state into a fresh snapshot generation
+// and rewrites the WAL to hold only the records after the previous
+// generation — the retention that makes a one-generation fallback lossless.
+// A failure that leaves the WAL healthy (say, a torn snapshot rename) is
+// returned and remembered (CompactionError) but journaling continues; a
+// failure that poisons the WAL degrades to memory-only like any other
+// journaling loss.
+func (s *Supervisor) CompactNow() error {
+	if s.store == nil {
+		return errors.New("fleet: CompactNow without a journal.Store")
+	}
+	if s.unjournaled {
+		return fmt.Errorf("fleet: compact: %w", ErrUnjournaled)
+	}
+	payload, err := s.Checkpoint()
+	if err != nil {
+		return err
+	}
+	prev := s.prevSnapRound
+	err = s.store.Compact(payload, uint64(s.round), func(rec []byte) bool {
+		return recordRound(rec) > prev
+	})
+	if err != nil {
+		if s.store.Err() != nil {
+			return s.degrade(err)
+		}
+		s.compactErr = err
+		return err
+	}
+	s.prevSnapRound = s.round
+	s.compactErr = nil
+	return nil
 }
 
 // servingEntries lists the devices eligible to serve traffic right now:
@@ -603,6 +775,23 @@ func (s *Supervisor) Round() int { return s.round }
 
 // Resumed reports whether this supervisor was reconstructed from a journal.
 func (s *Supervisor) Resumed() bool { return s.resumes > 0 }
+
+// Unjournaled reports whether a disk fault forced the supervisor into
+// memory-only operation: still serving, no longer durable.
+func (s *Supervisor) Unjournaled() bool { return s.unjournaled }
+
+// JournalError returns the disk fault that cost the supervisor its journal
+// (nil while durable).
+func (s *Supervisor) JournalError() error { return s.journalErr }
+
+// CompactionError returns the most recent compaction failure that left the
+// WAL healthy (nil after a clean compaction; poisoning failures degrade to
+// memory-only instead and show up in JournalError).
+func (s *Supervisor) CompactionError() error { return s.compactErr }
+
+// Store exposes the snapshot-compacting journal store when the supervisor
+// runs over one (nil on the bare-Writer and unjournaled paths).
+func (s *Supervisor) Store() *journal.Store { return s.store }
 
 // DeviceIDs returns the fleet members in commissioning order.
 func (s *Supervisor) DeviceIDs() []string { return append([]string(nil), s.order...) }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"reramtest/internal/health"
+	"reramtest/internal/journal"
 	"reramtest/internal/reram"
 )
 
@@ -49,10 +50,15 @@ type DeviceRecord struct {
 }
 
 // Record is one journaled durable state transition for the whole fleet.
-// Two kinds exist today:
+// Three kinds exist today:
 //
 //   - "commission": written once when the supervisor first arms the fleet.
 //   - "tick": written after every supervised fleet round.
+//   - "snapshot": the full fleet state as a compaction anchor — the payload
+//     of a journal.Store snapshot generation, never appended to the WAL
+//     itself. Structurally identical to a tick (every record already carries
+//     full state; group commit made ticks self-contained from day one), so
+//     replay treats all three the same way.
 //
 // A tick is journaled as ONE record covering every device — a group commit.
 // The CRC framing of internal/journal makes each record atomic, so a crash
@@ -70,6 +76,7 @@ type Record struct {
 const (
 	recordCommission = "commission"
 	recordTick       = "tick"
+	recordSnapshot   = "snapshot"
 )
 
 // encodeRecord renders a record as its journal payload.
@@ -131,16 +138,43 @@ func (s DeviceSnapshot) Validate() error {
 // as JSON is an error — the CRC framing already proved it was written
 // intact, so garbage here means a software bug, not a torn write.
 func ReplayRecords(payloads [][]byte) (snaps map[string]DeviceSnapshot, round int, err error) {
+	return foldRecords(make(map[string]DeviceSnapshot), 0, -1, payloads)
+}
+
+// ReplayRecovered folds a journal.Store recovery: the snapshot record first
+// (when one exists), then every WAL record from a round the snapshot does
+// not already cover. Records at or below the snapshot's sequence are stale —
+// a crash between snapshot publish and WAL rewrite legitimately leaves them
+// behind — and are skipped rather than replayed backwards over newer state.
+// A snapshot-less recovery (legacy WAL, or a fleet too young to have
+// compacted) degenerates to plain ReplayRecords.
+func ReplayRecovered(rec journal.Recovered) (snaps map[string]DeviceSnapshot, round int, err error) {
 	snaps = make(map[string]DeviceSnapshot)
+	if rec.Snapshot == nil {
+		return foldRecords(snaps, 0, -1, rec.Records)
+	}
+	snaps, round, err = foldRecords(snaps, 0, -1, [][]byte{rec.Snapshot})
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: snapshot generation %d: %w", rec.SnapshotGen, err)
+	}
+	return foldRecords(snaps, round, int(rec.SnapshotSeq), rec.Records)
+}
+
+// foldRecords is the shared replay fold: last record wins, records with a
+// round at or below minRound are skipped (minRound < 0 disables filtering).
+func foldRecords(snaps map[string]DeviceSnapshot, round, minRound int, payloads [][]byte) (map[string]DeviceSnapshot, int, error) {
 	for i, p := range payloads {
 		var rec Record
 		if err := json.Unmarshal(p, &rec); err != nil {
 			return nil, 0, fmt.Errorf("fleet: journal record %d unparseable: %w", i, err)
 		}
 		switch rec.Type {
-		case recordCommission, recordTick:
+		case recordCommission, recordTick, recordSnapshot:
 			if rec.Round < 0 {
 				return nil, 0, fmt.Errorf("fleet: journal record %d: negative round %d", i, rec.Round)
+			}
+			if minRound >= 0 && rec.Round <= minRound {
+				continue // superseded by the snapshot the caller already folded
 			}
 			for _, d := range rec.Devices {
 				if d.Device == "" {
@@ -167,4 +201,18 @@ func ReplayRecords(payloads [][]byte) (snaps map[string]DeviceSnapshot, round in
 		}
 	}
 	return snaps, round, nil
+}
+
+// recordRound parses only the round of a journal payload — the compaction
+// keep-predicate's key. An unparseable payload returns a huge round so the
+// predicate keeps it: dropping a record the supervisor cannot read would be
+// silent data loss, keeping it is merely a few wasted WAL bytes.
+func recordRound(p []byte) int {
+	var rec struct {
+		Round *int `json:"round"`
+	}
+	if json.Unmarshal(p, &rec) != nil || rec.Round == nil {
+		return 1 << 62
+	}
+	return *rec.Round
 }

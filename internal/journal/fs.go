@@ -1,0 +1,67 @@
+package journal
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the journal's pluggable storage seam. Production uses OS (thin
+// wrappers over package os); tests and the crash-soak torture matrix use
+// ErrFS to inject the disk failures a lifetime of field operation will
+// eventually produce — short writes, failed fsyncs, ENOSPC, torn renames,
+// a process dying at an arbitrary byte boundary. Everything in this package
+// that touches storage goes through an FS, so every durability claim the
+// package makes is testable against a hostile disk.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads the whole file (os.ReadFile semantics: a missing file
+	// returns an error satisfying os.IsNotExist).
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadDirNames lists the entry names of dir (order unspecified).
+	ReadDirNames(dir string) ([]string, error)
+}
+
+// File is the open-file surface the journal needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// OS is the production filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		// return a true nil interface, not a typed nil *os.File
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) ReadDirNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}

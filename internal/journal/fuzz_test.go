@@ -49,3 +49,39 @@ func FuzzDecodeAll(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeSnapshot throws arbitrary bytes at the snapshot decoder. The
+// decoder is the gate recovery trusts before abandoning the WAL's full
+// history for a compacted image, so its contract mirrors DecodeAll's but
+// stricter: never panic, and accept ONLY byte-exact images — anything a
+// decode accepts must re-encode to exactly the input (no trailing garbage, no
+// tolerated tearing; a snapshot is published atomically or not at all).
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeSnapshot(0, 0, nil))
+	f.Add(EncodeSnapshot(1, 42, []byte(`{"type":"snapshot","round":42}`)))
+	f.Add(EncodeSnapshot(^uint64(0), ^uint64(0), []byte("edge")))
+	// torn publish: an image cut mid-payload
+	whole := EncodeSnapshot(3, 9, []byte("torn-snapshot-payload"))
+	f.Add(whole[:len(whole)-6])
+	// bit-flipped payload under an intact header
+	flipped := EncodeSnapshot(2, 5, []byte("flip-me"))
+	flipped[len(flipped)-1] ^= 0x80
+	f.Add(flipped)
+	// trailing garbage after a valid image
+	f.Add(append(EncodeSnapshot(1, 1, []byte("x")), 0xA7, 0x00))
+	// wrong magic / wrong version
+	f.Add([]byte("WALJ\x01\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add(append([]byte("RSNP\x02"), make([]byte, 32)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, gen, seq, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeSnapshot(gen, seq, payload), data) {
+			t.Fatalf("decoded snapshot (gen=%d seq=%d, %d-byte payload) does not re-encode to the %d-byte input",
+				gen, seq, len(payload), len(data))
+		}
+	})
+}

@@ -19,6 +19,7 @@
 package journal
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -85,22 +86,40 @@ func decodeOne(data []byte) ([]byte, int) {
 	return out, headerSize + length
 }
 
+// ErrWriterFailed marks a Writer that has gone fail-stop: an earlier Append
+// or Sync met an I/O error, so the file offset (and with an fsync failure,
+// even the durability of already-written frames) is no longer trustworthy.
+// Every later Append/Sync fails with an error matching this sentinel rather
+// than landing bytes at an unknown position. The owner must recover by
+// reopening the journal (OpenAppend truncates whatever the failed write
+// tore) — or degrade to memory-only operation.
+var ErrWriterFailed = errors.New("journal: writer failed — journal poisoned")
+
 // Writer appends records to a journal file. Appends are synchronously
 // flushed to the OS; Sync additionally forces them to stable storage. A
 // Writer is not safe for concurrent use — the supervisor serialises appends.
+//
+// Writers are fail-stop: the first I/O error on Append or Sync poisons the
+// writer permanently (see ErrWriterFailed).
 type Writer struct {
-	f      *os.File
+	fs     FS
+	f      File
 	path   string
+	size   int64 // bytes of intact frames written so far
 	closed bool
+	err    error // sticky: first I/O failure, fail-stop from then on
 }
 
 // Create opens a fresh journal at path, truncating any existing file.
-func Create(path string) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+func Create(path string) (*Writer, error) { return CreateFS(OS, path) }
+
+// CreateFS is Create over an explicit filesystem.
+func CreateFS(fsys FS, path string) (*Writer, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: create %s: %w", path, err)
 	}
-	return &Writer{f: f, path: path}, nil
+	return &Writer{fs: fsys, f: f, path: path}, nil
 }
 
 // OpenAppend opens an existing journal (creating it when absent) for further
@@ -109,7 +128,12 @@ func Create(path string) (*Writer, error) {
 // discarded. The returned writer appends immediately after the last intact
 // record.
 func OpenAppend(path string) (w *Writer, records [][]byte, truncated int, err error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenAppendFS(OS, path)
+}
+
+// OpenAppendFS is OpenAppend over an explicit filesystem.
+func OpenAppendFS(fsys FS, path string) (w *Writer, records [][]byte, truncated int, err error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("journal: open %s: %w", path, err)
 	}
@@ -130,14 +154,19 @@ func OpenAppend(path string) (w *Writer, records [][]byte, truncated int, err er
 		f.Close()
 		return nil, nil, 0, fmt.Errorf("journal: seek %s: %w", path, err)
 	}
-	return &Writer{f: f, path: path}, records, truncated, nil
+	return &Writer{fs: fsys, f: f, path: path, size: int64(consumed)}, records, truncated, nil
 }
 
 // Replay reads every intact record of the journal at path without opening it
 // for writing. A missing file replays as empty — a fleet that never got to
 // journal anything is a valid (blank) fleet.
 func Replay(path string) (records [][]byte, truncated int, err error) {
-	data, err := os.ReadFile(path)
+	return ReplayFS(OS, path)
+}
+
+// ReplayFS is Replay over an explicit filesystem.
+func ReplayFS(fsys FS, path string) (records [][]byte, truncated int, err error) {
+	data, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, 0, nil
 	}
@@ -148,27 +177,52 @@ func Replay(path string) (records [][]byte, truncated int, err error) {
 	return records, len(data) - consumed, nil
 }
 
-// Append frames payload and writes it to the journal.
+// Append frames payload and writes it to the journal. A failed write leaves
+// the writer fail-stop (ErrWriterFailed): the frame may have partially
+// landed, so the append position is unknown and no later record may be
+// trusted to start on a frame boundary.
 func (w *Writer) Append(payload []byte) error {
+	if w.err != nil {
+		return fmt.Errorf("journal: append to %s: %w: %v", w.path, ErrWriterFailed, w.err)
+	}
 	if w.closed {
 		return fmt.Errorf("journal: append to closed writer %s", w.path)
 	}
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("journal: record of %d bytes exceeds MaxRecord %d", len(payload), MaxRecord)
 	}
-	if _, err := w.f.Write(Encode(payload)); err != nil {
+	frame := Encode(payload)
+	n, err := w.f.Write(frame)
+	if err != nil {
+		w.err = fmt.Errorf("append of %d bytes landed %d: %w", len(frame), n, err)
 		return fmt.Errorf("journal: append to %s: %w", w.path, err)
 	}
+	if n != len(frame) {
+		// a short write without an error violates the io.Writer contract, but
+		// the journal is the last line of defense — treat it as fatal anyway
+		w.err = fmt.Errorf("short write: %d of %d bytes", n, len(frame))
+		return fmt.Errorf("journal: append to %s: %w: %v", w.path, ErrWriterFailed, w.err)
+	}
+	w.size += int64(n)
 	return nil
 }
 
 // Sync forces appended records to stable storage. The supervisor calls it
-// once per fleet tick (group commit) rather than per record.
+// once per fleet tick (group commit) rather than per record. A failed fsync
+// poisons the writer (fail-stop): the kernel may have dropped the dirty
+// pages, so nothing written since the last successful Sync is trustworthy.
 func (w *Writer) Sync() error {
+	if w.err != nil {
+		return fmt.Errorf("journal: sync %s: %w: %v", w.path, ErrWriterFailed, w.err)
+	}
 	if w.closed {
 		return nil
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("fsync: %w", err)
+		return fmt.Errorf("journal: sync %s: %w", w.path, err)
+	}
+	return nil
 }
 
 // Close syncs and releases the file.
@@ -177,12 +231,24 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	w.closed = true
+	if w.err != nil {
+		w.f.Close()
+		return fmt.Errorf("journal: close %s: %w: %v", w.path, ErrWriterFailed, w.err)
+	}
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
 		return err
 	}
 	return w.f.Close()
 }
+
+// Err returns the sticky failure that made the writer fail-stop (nil while
+// healthy).
+func (w *Writer) Err() error { return w.err }
+
+// Size returns the bytes of intact frames appended so far (the WAL length,
+// excluding any torn tail a failed write may have left).
+func (w *Writer) Size() int64 { return w.size }
 
 // Path returns the journal's file path.
 func (w *Writer) Path() string { return w.path }

@@ -1,0 +1,178 @@
+// Snapshots are the journal's compaction anchor: a full durable-state image
+// at one point in the WAL, written as its own generation-numbered file next
+// to the WAL. A snapshot file is
+//
+//	"RSNP" | version(1) | generation(uint64 LE) | seq(uint64 LE) | record frame
+//
+// where the record frame is the same magic/length/CRC framing the WAL uses
+// (Encode), so the payload's integrity is provable with the same machinery
+// the fuzz targets beat on. seq is a caller-owned sequence number — the
+// fleet stores its round — letting recovery decide which WAL records the
+// snapshot supersedes without parsing the payload.
+//
+// Snapshots are published atomically: written to a ".tmp" sibling, fsynced,
+// then renamed into place. Recovery ignores temp files (a torn publish
+// leaves one behind) and walks generations newest-first, falling back a
+// generation when the newest file is corrupt.
+package journal
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+const (
+	// snapVersion is bumped on incompatible header changes.
+	snapVersion = 1
+	// snapHeaderSize is magic(4) + version(1) + generation(8) + seq(8).
+	snapHeaderSize = 4 + 1 + 8 + 8
+)
+
+// snapMagic opens every snapshot file.
+var snapMagic = []byte("RSNP")
+
+// EncodeSnapshot renders one snapshot file image.
+func EncodeSnapshot(gen, seq uint64, payload []byte) []byte {
+	out := make([]byte, 0, snapHeaderSize+headerSize+len(payload))
+	out = append(out, snapMagic...)
+	out = append(out, snapVersion)
+	out = appendUint64(out, gen)
+	out = appendUint64(out, seq)
+	return append(out, Encode(payload)...)
+}
+
+// DecodeSnapshot parses a snapshot file image. Unlike the WAL decoder it is
+// strict: a snapshot is published atomically, so anything short, torn,
+// oversized or trailing-garbage is corruption and fails loudly — the caller
+// falls back a generation instead of trusting a half image.
+func DecodeSnapshot(data []byte) (payload []byte, gen, seq uint64, err error) {
+	if len(data) < snapHeaderSize+headerSize {
+		return nil, 0, 0, fmt.Errorf("journal: snapshot of %d bytes shorter than any valid image", len(data))
+	}
+	if string(data[:4]) != string(snapMagic) {
+		return nil, 0, 0, fmt.Errorf("journal: snapshot magic %q is not %q", data[:4], snapMagic)
+	}
+	if data[4] != snapVersion {
+		return nil, 0, 0, fmt.Errorf("journal: snapshot version %d, want %d", data[4], snapVersion)
+	}
+	gen = getUint64(data[5:13])
+	seq = getUint64(data[13:21])
+	records, consumed := DecodeAll(data[snapHeaderSize:])
+	if len(records) != 1 || snapHeaderSize+consumed != len(data) {
+		return nil, 0, 0, fmt.Errorf("journal: snapshot body holds %d intact records over %d of %d bytes, want exactly 1 filling the file",
+			len(records), consumed, len(data)-snapHeaderSize)
+	}
+	return records[0], gen, seq, nil
+}
+
+// snapshotPath names generation gen of the snapshot family anchored at the
+// WAL path.
+func snapshotPath(walPath string, gen uint64) string {
+	return fmt.Sprintf("%s.snap-%016x", walPath, gen)
+}
+
+// snapshotGen parses a snapshot file name of walBase's family, returning
+// (gen, true) on a match. Temp files and foreign names do not match.
+func snapshotGen(walBase, name string) (uint64, bool) {
+	prefix := walBase + ".snap-"
+	if !strings.HasPrefix(name, prefix) || strings.HasSuffix(name, ".tmp") {
+		return 0, false
+	}
+	var gen uint64
+	if _, err := fmt.Sscanf(name[len(prefix):], "%016x", &gen); err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// WriteSnapshot durably publishes generation gen: temp file → fsync →
+// atomic rename. Any failure leaves at most a temp file behind (which
+// recovery ignores) — the previous generation stays intact either way.
+func WriteSnapshot(fsys FS, walPath string, gen, seq uint64, payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("journal: snapshot payload of %d bytes exceeds MaxRecord %d", len(payload), MaxRecord)
+	}
+	final := snapshotPath(walPath, gen)
+	tmp := final + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: snapshot temp %s: %w", tmp, err)
+	}
+	img := EncodeSnapshot(gen, seq, payload)
+	if n, err := f.Write(img); err != nil || n != len(img) {
+		f.Close()
+		if err == nil {
+			err = fmt.Errorf("short write: %d of %d bytes", n, len(img))
+		}
+		return fmt.Errorf("journal: snapshot write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: snapshot fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: snapshot close %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		return fmt.Errorf("journal: snapshot publish %s: %w", final, err)
+	}
+	return nil
+}
+
+// listSnapshots returns the on-disk generations of walPath's snapshot
+// family, descending (newest first), plus any leftover temp files found.
+func listSnapshots(fsys FS, walPath string) (gens []uint64, temps []string, err error) {
+	dir, base := splitPath(walPath)
+	names, err := fsys.ReadDirNames(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, fmt.Errorf("journal: list snapshots of %s: %w", walPath, err)
+	}
+	for _, name := range names {
+		if gen, ok := snapshotGen(base, name); ok {
+			gens = append(gens, gen)
+		} else if strings.HasPrefix(name, base+".snap-") && strings.HasSuffix(name, ".tmp") {
+			temps = append(temps, joinPath(dir, name))
+		}
+	}
+	sort.Slice(gens, func(a, b int) bool { return gens[a] > gens[b] })
+	return gens, temps, nil
+}
+
+// splitPath splits path into (dir, base) without importing path/filepath
+// semantics beyond the separator — journal paths are OS paths.
+func splitPath(path string) (dir, base string) {
+	i := strings.LastIndexByte(path, os.PathSeparator)
+	if i < 0 {
+		return ".", path
+	}
+	if i == 0 {
+		return string(os.PathSeparator), path[1:]
+	}
+	return path[:i], path[i+1:]
+}
+
+func joinPath(dir, name string) string {
+	if dir == "." {
+		return name
+	}
+	if strings.HasSuffix(dir, string(os.PathSeparator)) {
+		return dir + name
+	}
+	return dir + string(os.PathSeparator) + name
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func getUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -170,6 +170,7 @@ func (f *Frontend) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Name        string   `json:"name"`
 		Draining    bool     `json:"draining"`
 		InFlight    int64    `json:"in_flight"`
+		Unjournaled bool     `json:"unjournaled"`
 		Serving     []string `json:"serving"`
 		Quarantined []string `json:"quarantined"`
 		Retired     []string `json:"retired"`
@@ -186,7 +187,8 @@ func (f *Frontend) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Shards = append(out.Shards, shardHealth{
 			Name: st.Name, Draining: st.Draining, InFlight: st.InFlight,
-			Serving: st.Serving, Quarantined: st.Quarantined, Retired: st.Retired,
+			Unjournaled: st.Unjournaled,
+			Serving:     st.Serving, Quarantined: st.Quarantined, Retired: st.Retired,
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -206,13 +208,22 @@ func (f *Frontend) handleStats(w http.ResponseWriter, r *http.Request) {
 // lifetime counters, the response-granular cost table (tenant/shard/fleet,
 // internally consistent by construction) and every device's live per-class
 // counter snapshot (which additionally carries monitor/repair spend and the
-// serving spend of abandoned hedges).
+// serving spend of abandoned hedges). Shards that lost their journal and run
+// memory-only are listed under "unjournaled" so scrapers can alert on
+// durability loss without parsing per-shard health.
 func (f *Frontend) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	var unjournaled []string
+	for _, st := range f.Status() {
+		if st.Unjournaled {
+			unjournaled = append(unjournaled, st.Name)
+		}
+	}
 	out := struct {
-		Stats   Stats                                     `json:"stats"`
-		Cost    CostStats                                 `json:"cost"`
-		Devices map[string]map[string]reram.CostBreakdown `json:"devices"`
-	}{Stats: f.Stats(), Cost: f.CostStats(), Devices: f.DeviceCosts()}
+		Stats       Stats                                     `json:"stats"`
+		Cost        CostStats                                 `json:"cost"`
+		Devices     map[string]map[string]reram.CostBreakdown `json:"devices"`
+		Unjournaled []string                                  `json:"unjournaled,omitempty"`
+	}{Stats: f.Stats(), Cost: f.CostStats(), Devices: f.DeviceCosts(), Unjournaled: unjournaled}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
 }

@@ -153,6 +153,11 @@ type ShardSpec struct {
 	Serve   serve.Config
 	// Journal is this shard's durable WAL (nil: no durability).
 	Journal *journal.Writer
+	// Store, when set, takes precedence over Journal: the shard journals
+	// through a snapshot-compacting store and degrades to memory-only on
+	// persistent disk faults instead of failing, surfacing Unjournaled
+	// through Status, /v1/healthz and /statsz.
+	Store *journal.Store
 }
 
 // Request is one tier-level inference request.
@@ -342,9 +347,20 @@ func New(specs []ShardSpec, cfg Config) (*Frontend, error) {
 			return nil, fmt.Errorf("netserve: shard %q input width %d differs from %d — requests could not rebalance across shards",
 				spec.Name, inDim, f.inDim)
 		}
-		srv, err := serve.New(spec.Devices, spec.Fleet, spec.Serve, spec.Journal)
-		if err != nil {
-			return nil, fmt.Errorf("netserve: commission shard %q: %w", spec.Name, err)
+		var srv *serve.Server
+		var err error
+		if spec.Store != nil {
+			// degraded commissioning (ErrUnjournaled) still yields a live
+			// shard — it serves memory-only and flags itself via Status
+			srv, err = serve.NewStore(spec.Devices, spec.Fleet, spec.Serve, spec.Store)
+			if err != nil && !errors.Is(err, fleet.ErrUnjournaled) {
+				return nil, fmt.Errorf("netserve: commission shard %q: %w", spec.Name, err)
+			}
+		} else {
+			srv, err = serve.New(spec.Devices, spec.Fleet, spec.Serve, spec.Journal)
+			if err != nil {
+				return nil, fmt.Errorf("netserve: commission shard %q: %w", spec.Name, err)
+			}
 		}
 		sh := &shard{name: spec.Name, idx: i, srv: srv}
 		f.shards = append(f.shards, sh)
@@ -600,6 +616,7 @@ type ShardStatus struct {
 	Name        string
 	Draining    bool
 	InFlight    int64
+	Unjournaled bool // shard lost its journal and is running memory-only
 	Serving     []string
 	Quarantined []string
 	Retired     []string
@@ -614,6 +631,7 @@ func (f *Frontend) Status() []ShardStatus {
 			Name:        sh.name,
 			Draining:    sh.draining.Load(),
 			InFlight:    sh.inflight.Load(),
+			Unjournaled: sh.srv.Unjournaled(),
 			Serving:     sh.srv.Serving(),
 			Quarantined: sh.srv.Quarantined(),
 			Retired:     sh.srv.Retired(),

@@ -214,12 +214,43 @@ type Server struct {
 // worker pool. jw may be nil (no durability). The fleet config's MinServing
 // is validated against the fleet size at construction.
 func New(devices []fleet.Device, fcfg fleet.Config, scfg Config, jw *journal.Writer) (*Server, error) {
-	if err := scfg.Validate(); err != nil {
+	scfg, stations, wrapped, err := wrapDevices(devices, scfg)
+	if err != nil {
 		return nil, err
+	}
+	sup, err := fleet.New(wrapped, fcfg, jw)
+	if err != nil {
+		return nil, err
+	}
+	return startServer(scfg, sup, stations, devices[0].Reference().InDim()), nil
+}
+
+// NewStore is New over a snapshot-compacting journal.Store instead of a bare
+// WAL writer. If commissioning the fleet cannot be journaled (the store's
+// disk is already faulty) the server still starts, running memory-only with
+// Unjournaled set, and the returned error wraps fleet.ErrUnjournaled so the
+// operator can decide whether that is acceptable.
+func NewStore(devices []fleet.Device, fcfg fleet.Config, scfg Config, store *journal.Store) (*Server, error) {
+	scfg, stations, wrapped, err := wrapDevices(devices, scfg)
+	if err != nil {
+		return nil, err
+	}
+	sup, err := fleet.NewStore(wrapped, fcfg, store)
+	if err != nil && !errors.Is(err, fleet.ErrUnjournaled) {
+		return nil, err
+	}
+	return startServer(scfg, sup, stations, devices[0].Reference().InDim()), err
+}
+
+// wrapDevices validates the config and wraps each device in a Station so
+// monitoring and serving serialise per device.
+func wrapDevices(devices []fleet.Device, scfg Config) (Config, map[string]*Station, []fleet.Device, error) {
+	if err := scfg.Validate(); err != nil {
+		return scfg, nil, nil, err
 	}
 	scfg = scfg.withDefaults()
 	if len(devices) == 0 {
-		return nil, errors.New("serve: no devices")
+		return scfg, nil, nil, errors.New("serve: no devices")
 	}
 	stations := make(map[string]*Station, len(devices))
 	wrapped := make([]fleet.Device, len(devices))
@@ -228,16 +259,18 @@ func New(devices []fleet.Device, fcfg fleet.Config, scfg Config, jw *journal.Wri
 		wrapped[i] = st
 		stations[st.ID()] = st
 	}
-	sup, err := fleet.New(wrapped, fcfg, jw)
-	if err != nil {
-		return nil, err
-	}
+	return scfg, stations, wrapped, nil
+}
+
+// startServer assembles the Server around a commissioned supervisor and
+// starts the worker pool.
+func startServer(scfg Config, sup *fleet.Supervisor, stations map[string]*Station, inDim int) *Server {
 	rootCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      scfg,
 		sup:      sup,
 		stations: stations,
-		inDim:    devices[0].Reference().InDim(),
+		inDim:    inDim,
 		qMon:     make(chan *pending, scfg.QueueMonitor),
 		qBulk:    make(chan *pending, scfg.QueueBulk),
 		rootCtx:  rootCtx,
@@ -247,7 +280,7 @@ func New(devices []fleet.Device, fcfg fleet.Config, scfg Config, jw *journal.Wri
 		s.workerWG.Add(1)
 		go s.worker()
 	}
-	return s, nil
+	return s
 }
 
 // Do submits one (N, inDim) inference batch and blocks until it terminates:
@@ -524,6 +557,23 @@ func (s *Server) Retired() []string {
 	s.backendMu.Lock()
 	defer s.backendMu.Unlock()
 	return s.sup.Retired()
+}
+
+// Unjournaled reports whether the backend supervisor has abandoned its
+// journal after a persistent disk fault and is running memory-only. Always
+// false for servers built over a bare WAL writer (or no journal at all).
+func (s *Server) Unjournaled() bool {
+	s.backendMu.Lock()
+	defer s.backendMu.Unlock()
+	return s.sup.Unjournaled()
+}
+
+// JournalError returns the disk fault that forced the supervisor off its
+// journal, or nil while journaling (or when never journaled through a store).
+func (s *Server) JournalError() error {
+	s.backendMu.Lock()
+	defer s.backendMu.Unlock()
+	return s.sup.JournalError()
 }
 
 // Devices returns every commissioned device ID in commissioning order
