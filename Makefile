@@ -4,8 +4,9 @@
 #                hardened-runtime packages + short campaign, fleet,
 #                serving-chaos, network-tier, crash/disk-fault and
 #                repair-ladder lifetime soak smokes + a short fuzz pass over
-#                the journal record and snapshot decoders + the batched
-#                inference and training performance gates (bench-smoke)
+#                the journal record and snapshot decoders and the f32 kernel
+#                envelope + the batched inference, training and
+#                multi-precision performance gates (bench-smoke)
 #   make bench-smoke  gate the batched monitor readout and the engine
 #                training step against the committed baseline ratios (min
 #                speedup over the legacy paths, max allocs/op), after
@@ -116,19 +117,22 @@ crash-soak-smoke:
 crash-soak:
 	$(GO) run ./cmd/monitor -crash-soak -campaigns 8 -devices 3
 
-# short coverage-guided pass over the journal record decoder and the snapshot
-# decoder (the committed corpus under internal/journal/testdata/fuzz seeds
-# both; go's fuzzer takes one target per invocation)
+# short coverage-guided pass over the journal record decoder, the snapshot
+# decoder and the f32-vs-f64 matmul envelope (committed corpora seed all
+# three; go's fuzzer takes one target per invocation)
 fuzz-short:
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzDecodeAll -fuzztime=10s
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=10s
+	$(GO) test ./internal/tensor -run='^$$' -fuzz=FuzzMatMulF32VsF64 -fuzztime=10s
 
-# performance gate on the batch-first inference AND training engines, plus
-# the hardware cost accounting layer: the batched monitor readout must stay
-# bit-identical to the serial path, the engine training step must land on
-# bit-identical weights across the legacy, serial-engine and pooled-engine
-# arms, metering must be numerically invisible (metered accelerator
-# bit-identical to an unmetered twin) with a zero-allocation counting hot
-# path, and every path must beat its committed baseline ratio
+# performance gate on the batch-first inference AND training engines, the
+# hardware cost accounting layer and the multi-precision kernel tier: the
+# batched monitor readout must stay bit-identical to the serial path, the
+# engine training step must land on bit-identical weights across the legacy,
+# serial-engine and pooled-engine arms, metering must be numerically
+# invisible (metered accelerator bit-identical to an unmetered twin) with a
+# zero-allocation counting hot path, the f32 tier must hold its row-scaled
+# ULP envelope, the i8 tier must equal the quantize-then-f64 oracle bitwise,
+# and every path must beat its committed baseline ratio
 bench-smoke:
 	$(GO) run ./cmd/benchsmoke

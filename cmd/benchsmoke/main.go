@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -69,6 +70,22 @@ type Baseline struct {
 	// CostMaxAllocsPerOp caps steady-state heap allocations of the counting
 	// hot path itself (Counter.ChargeClass + Snapshot). The contract is zero.
 	CostMaxAllocsPerOp float64 `json:"cost_max_allocs_per_op"`
+	// QuantF32MinSpeedup is the minimum f64-over-f32 wall-time ratio for one
+	// monitor readout on the float32 tier: half-width arithmetic must actually
+	// buy throughput, not just lose bits.
+	QuantF32MinSpeedup float64 `json:"quant_f32_min_speedup"`
+	// QuantI8MinSpeedup is the minimum f64-over-int8 wall-time ratio. The
+	// scalar int8 kernels model conversion-energy savings, not SIMD throughput,
+	// so the floor is honest about near-parity: it guards against the tier
+	// becoming pathologically slower, not against it failing to be fast.
+	QuantI8MinSpeedup float64 `json:"quant_i8_min_speedup"`
+	// QuantF32ULPBound is the f32 accuracy envelope: per output row,
+	// max|f32 − f64| must stay within bound·2⁻²⁴·max|row| (a scaled-ULP
+	// bound — robust to cancellation, where a raw ULP distance explodes).
+	QuantF32ULPBound float64 `json:"quant_f32_ulp_bound"`
+	// QuantMaxAllocsPerOp caps steady-state heap allocations per fast-tier
+	// readout. The converted-weight caches make the contract zero.
+	QuantMaxAllocsPerOp float64 `json:"quant_max_allocs_per_op"`
 }
 
 // Report is one emitted perf-trajectory record (BENCH_infer.json /
@@ -102,7 +119,12 @@ func writeReport(dir, name string, r Report) {
 func main() {
 	baselinePath := flag.String("baseline", "cmd/benchsmoke/testdata/bench_baseline.json", "baseline ratios to gate against")
 	jsonDir := flag.String("json", "", "directory to write BENCH_infer.json / BENCH_train.json perf-trajectory artifacts (empty = skip)")
+	precision := flag.String("precision", "all", "fast tiers the quant gate exercises: all, f32 or i8 (the f64 reference arm always runs)")
 	flag.Parse()
+	if *precision != "all" && *precision != "f32" && *precision != "i8" {
+		fmt.Fprintf(os.Stderr, "benchsmoke: -precision %q must be all, f32 or i8\n", *precision)
+		os.Exit(1)
+	}
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
@@ -126,6 +148,9 @@ func main() {
 		failed = true
 	}
 	if !costGate(base, *jsonDir) {
+		failed = true
+	}
+	if !quantGate(base, *jsonDir, *precision) {
 		failed = true
 	}
 	if failed {
@@ -488,6 +513,232 @@ func costGate(base Baseline, jsonDir string) bool {
 	if allocs > base.CostMaxAllocsPerOp {
 		fmt.Fprintf(os.Stderr, "benchsmoke: FAIL cost charge path %.0f allocs/op above baseline %.0f\n", allocs, base.CostMaxAllocsPerOp)
 		ok = false
+	}
+	return ok
+}
+
+// QuantReport is the emitted multi-precision perf-trajectory record
+// (BENCH_quant.json): the three tiers' readout times, the fast arms'
+// speedups over the f64 reference, the measured f32 accuracy in row-scaled
+// ULPs and the baseline bounds they were gated against.
+type QuantReport struct {
+	Workload        string  `json:"workload"`
+	F64NsPerOp      int64   `json:"f64_ns_per_op"`
+	F32NsPerOp      int64   `json:"f32_ns_per_op,omitempty"`
+	I8NsPerOp       int64   `json:"i8_ns_per_op,omitempty"`
+	F32Speedup      float64 `json:"f32_speedup,omitempty"`
+	I8Speedup       float64 `json:"i8_speedup,omitempty"`
+	F32MaxScaledULP float64 `json:"f32_max_scaled_ulp,omitempty"`
+	F32AllocsPerOp  float64 `json:"f32_allocs_per_op"`
+	I8AllocsPerOp   float64 `json:"i8_allocs_per_op"`
+	MinF32Speedup   float64 `json:"min_f32_speedup"`
+	MinI8Speedup    float64 `json:"min_i8_speedup"`
+	ULPBound        float64 `json:"ulp_bound"`
+	MaxAllocsOp     float64 `json:"max_allocs_per_op"`
+}
+
+// quantI8Oracle is the model-level quantize-then-f64 oracle the int8 tier is
+// gated against: dense layers quantize activations and weights with the SAME
+// tensor helpers the engine uses, run the integer matmul through the f64
+// reference kernel (exact — the values are integers far below 2⁵³) and
+// dequantize through the SAME shared expression; every other layer runs its
+// ordinary f64 forward. The I8 tier must match this bitwise: the quantized
+// kernels change the arithmetic domain, not the arithmetic.
+func quantI8Oracle(net *nn.Network, x *tensor.Tensor) *tensor.Tensor {
+	cur := x
+	for _, l := range net.Layers() {
+		d, isDense := l.(*nn.Dense)
+		if !isDense {
+			cur = l.Forward(cur)
+			continue
+		}
+		n := cur.Dim(0)
+		in, out := d.In(), d.Out()
+		wqT := make([]int8, in*out)
+		sw := make([]float64, out)
+		rowSum := make([]int32, out)
+		tensor.QuantizeWeightsI8(wqT, sw, rowSum, d.Params()[0].Value.Data(), in, out)
+		bias := d.Params()[1].Value.Data()
+		xq := make([]int8, in)
+		xq64 := make([]float64, n*in)
+		rqs := make([]tensor.RowQuantI8, n)
+		cd := cur.Data()
+		for i := 0; i < n; i++ {
+			rqs[i] = tensor.QuantizeRowI8(xq, cd[i*in:(i+1)*in])
+			for k, q := range xq {
+				xq64[i*in+k] = float64(q)
+			}
+		}
+		wq64 := make([]float64, in*out)
+		for j := 0; j < out; j++ {
+			for k := 0; k < in; k++ {
+				wq64[k*out+j] = float64(wqT[j*in+k])
+			}
+		}
+		acc64 := make([]float64, n*out)
+		tensor.MatMulSlices(acc64, xq64, wq64, n, in, out)
+		y := tensor.New(n, out)
+		yd := y.Data()
+		for i := 0; i < n; i++ {
+			for j := 0; j < out; j++ {
+				yd[i*out+j] = tensor.DequantI8(int32(acc64[i*out+j]), rqs[i], sw[j], bias[j], rowSum[j])
+			}
+		}
+		cur = y
+	}
+	return cur
+}
+
+// maxScaledULP measures the f32 logits against the f64 reference in
+// row-scaled ULPs: per row, |f32 − f64| / (2⁻²⁴·max|row|), worst entry over
+// the batch. The row scaling makes the metric meaningful under cancellation,
+// where the raw per-value ULP distance of a tiny difference explodes.
+func maxScaledULP(got, want *tensor.Tensor, rows, cols int) float64 {
+	gd, wd := got.Data(), want.Data()
+	worst := 0.0
+	for i := 0; i < rows; i++ {
+		scale := 0.0
+		for j := 0; j < cols; j++ {
+			scale = math.Max(scale, math.Abs(wd[i*cols+j]))
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		unit := scale * 0x1p-24
+		for j := 0; j < cols; j++ {
+			worst = math.Max(worst, math.Abs(gd[i*cols+j]-wd[i*cols+j])/unit)
+		}
+	}
+	return worst
+}
+
+// quantGate guards the multi-precision tier: the f64 arm of the precision
+// dispatch must stay bit-identical to the legacy serial readout, the f32 arm
+// must hold the baseline's row-scaled ULP envelope AND beat the f64 engine by
+// the baseline factor, the int8 arm must equal the quantize-then-f64 oracle
+// bitwise, and both fast arms must allocate nothing in steady state.
+// precision selects which fast arms run ("all", "f32", "i8"); the f64
+// reference arm and its bit-identity gate always run.
+func quantGate(base Baseline, jsonDir, precision string) bool {
+	const patterns, in, classes = 16, 16, 6
+	net := models.MLP(rng.New(7), in, []int{24, 16}, classes)
+	x := tensor.RandUniform(rng.New(8), 0, 1, patterns, in)
+
+	// hard gate first: the dispatcher's explicit-f64 arm is the reference arm
+	// — compiling with Precision set must not move a single bit versus the
+	// legacy per-sample path
+	f64eng := engine.MustCompile(net, engine.Options{Precision: tensor.F64})
+	want := tensor.New(patterns, classes)
+	wd := want.Data()
+	for s := 0; s < patterns; s++ {
+		row := tensor.FromSlice(x.Data()[s*in:(s+1)*in], 1, in)
+		probs := nn.Softmax(net.Forward(row))
+		copy(wd[s*classes:(s+1)*classes], probs.Data())
+	}
+	if !f64eng.Probs(x).Equal(want) {
+		fmt.Fprintln(os.Stderr, "benchsmoke: FAIL explicit-f64 tier is not bit-identical to the serial path")
+		return false
+	}
+	f64Logits, err := f64eng.ForwardBatch(nil, x)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke: FAIL f64 forward:", err)
+		return false
+	}
+	f64Logits = f64Logits.Clone()
+	// timing arms measure the forward pass (logits): that is what the
+	// precision tier accelerates — softmax is tier-independent f64
+	// post-processing and would only dilute the measured ratio
+	f64Res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f64eng.ForwardBatch(nil, x)
+		}
+	})
+
+	rep := QuantReport{
+		Workload:      fmt.Sprintf("MLP 16-[24 16]-6, %d-pattern monitor forward (logits), f64 vs fast tiers", patterns),
+		F64NsPerOp:    f64Res.NsPerOp(),
+		MinF32Speedup: base.QuantF32MinSpeedup, MinI8Speedup: base.QuantI8MinSpeedup,
+		ULPBound: base.QuantF32ULPBound, MaxAllocsOp: base.QuantMaxAllocsPerOp,
+	}
+	ok := true
+
+	if precision == "all" || precision == "f32" {
+		f32eng := engine.MustCompile(net, engine.Options{Precision: tensor.F32})
+		got, err := f32eng.ForwardBatch(nil, x)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsmoke: FAIL f32 forward:", err)
+			return false
+		}
+		rep.F32MaxScaledULP = maxScaledULP(got, f64Logits, patterns, classes)
+		if rep.F32MaxScaledULP > base.QuantF32ULPBound {
+			fmt.Fprintf(os.Stderr, "benchsmoke: FAIL f32 logits off by %.0f row-scaled ULPs, bound %.0f\n",
+				rep.F32MaxScaledULP, base.QuantF32ULPBound)
+			ok = false
+		}
+		f32Res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f32eng.ForwardBatch(nil, x)
+			}
+		})
+		rep.F32NsPerOp = f32Res.NsPerOp()
+		rep.F32Speedup = float64(f64Res.NsPerOp()) / float64(f32Res.NsPerOp())
+		rep.F32AllocsPerOp = testing.AllocsPerRun(50, func() { f32eng.ForwardBatch(nil, x) })
+		fmt.Printf("benchsmoke: quant f64 %d ns/op, f32 %d ns/op, speedup %.2fx (min %.2fx), max scaled ULP %.1f (bound %.0f), allocs/op %.0f (max %.0f)\n",
+			f64Res.NsPerOp(), f32Res.NsPerOp(), rep.F32Speedup, base.QuantF32MinSpeedup,
+			rep.F32MaxScaledULP, base.QuantF32ULPBound, rep.F32AllocsPerOp, base.QuantMaxAllocsPerOp)
+		if rep.F32Speedup < base.QuantF32MinSpeedup {
+			fmt.Fprintf(os.Stderr, "benchsmoke: FAIL f32 speedup %.2fx below baseline %.2fx\n", rep.F32Speedup, base.QuantF32MinSpeedup)
+			ok = false
+		}
+		if rep.F32AllocsPerOp > base.QuantMaxAllocsPerOp {
+			fmt.Fprintf(os.Stderr, "benchsmoke: FAIL f32 %.0f allocs/op above baseline %.0f\n", rep.F32AllocsPerOp, base.QuantMaxAllocsPerOp)
+			ok = false
+		}
+	}
+
+	if precision == "all" || precision == "i8" {
+		i8eng := engine.MustCompile(net, engine.Options{Precision: tensor.I8})
+		got, err := i8eng.ForwardBatch(nil, x)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsmoke: FAIL i8 forward:", err)
+			return false
+		}
+		if !got.Equal(quantI8Oracle(net, x)) {
+			fmt.Fprintln(os.Stderr, "benchsmoke: FAIL i8 tier is not bit-identical to the quantize-then-f64 oracle")
+			ok = false
+		}
+		i8Res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				i8eng.ForwardBatch(nil, x)
+			}
+		})
+		rep.I8NsPerOp = i8Res.NsPerOp()
+		rep.I8Speedup = float64(f64Res.NsPerOp()) / float64(i8Res.NsPerOp())
+		rep.I8AllocsPerOp = testing.AllocsPerRun(50, func() { i8eng.ForwardBatch(nil, x) })
+		fmt.Printf("benchsmoke: quant f64 %d ns/op, i8 %d ns/op, speedup %.2fx (min %.2fx), bitwise vs oracle, allocs/op %.0f (max %.0f)\n",
+			f64Res.NsPerOp(), i8Res.NsPerOp(), rep.I8Speedup, base.QuantI8MinSpeedup,
+			rep.I8AllocsPerOp, base.QuantMaxAllocsPerOp)
+		if rep.I8Speedup < base.QuantI8MinSpeedup {
+			fmt.Fprintf(os.Stderr, "benchsmoke: FAIL i8 speedup %.2fx below baseline %.2fx\n", rep.I8Speedup, base.QuantI8MinSpeedup)
+			ok = false
+		}
+		if rep.I8AllocsPerOp > base.QuantMaxAllocsPerOp {
+			fmt.Fprintf(os.Stderr, "benchsmoke: FAIL i8 %.0f allocs/op above baseline %.0f\n", rep.I8AllocsPerOp, base.QuantMaxAllocsPerOp)
+			ok = false
+		}
+	}
+
+	if jsonDir != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsmoke: marshal quant report:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(jsonDir, "BENCH_quant.json")
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsmoke: write quant report:", err)
+			os.Exit(1)
+		}
 	}
 	return ok
 }

@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"reramtest/internal/netserve"
+	"reramtest/internal/tensor"
+)
+
+// TestMixedPrecisionNetSmoke runs the network soak with half the shards on
+// the F32 fast tier and demands the tier's full contract unchanged: zero
+// hung requests, zero silent drops, the received == invalid+quota+closed+
+// admitted identity, zero untyped outcomes, post-drain liveness and the cost
+// ledger reconciling — the numeric tier must be invisible to the request
+// plumbing and its accounting.
+func TestMixedPrecisionNetSmoke(t *testing.T) {
+	cfg := smallNetSoak()
+	cfg.ShardPrecision = func(shard int) tensor.Precision {
+		if shard%2 == 0 {
+			return tensor.F32
+		}
+		return tensor.F64
+	}
+	res, err := RunNetSoak(47, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := res.Failures(); len(fails) != 0 {
+		t.Fatalf("mixed-precision soak failed gates: %v\nchaos report:\n%s", fails, res.Chaos)
+	}
+	if res.Stats.Received != res.Stats.Invalid+res.Stats.QuotaRejected+res.Stats.ClosedRejected+res.Stats.Admitted {
+		t.Fatalf("admission identity broke under mixed precision: %+v", res.Stats)
+	}
+	if res.Untyped != 0 {
+		t.Fatalf("%d untyped outcomes under mixed precision", res.Untyped)
+	}
+	if res.PostDrainOK == 0 {
+		t.Fatal("no post-drain completions with an f32 shard in the mix")
+	}
+}
+
+// TestMixedPrecisionSurfacesTier stands up a two-shard tier with one F32
+// shard and checks the operator surfaces: Status, /v1/healthz and /statsz
+// must all report each shard's numeric tier.
+func TestMixedPrecisionSurfacesTier(t *testing.T) {
+	cfg := smallNetSoak()
+	s0 := cfg.Serve
+	s0.Precision = tensor.F32
+	specs := []netserve.ShardSpec{
+		{Name: "shard-0", Devices: EngineDevicesPrecision(1, 1, "s0", tensor.F32), Fleet: cfg.Fleet, Serve: s0},
+		{Name: "shard-1", Devices: EngineDevices(2, 1, "s1"), Fleet: cfg.Fleet, Serve: cfg.Serve},
+	}
+	f, err := netserve.New(specs, cfg.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	want := map[string]string{"shard-0": "f32", "shard-1": "f64"}
+	for _, st := range f.Status() {
+		if st.Precision != want[st.Name] {
+			t.Fatalf("Status %s precision = %q, want %q", st.Name, st.Precision, want[st.Name])
+		}
+	}
+
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+
+	var hz struct {
+		Shards []struct {
+			Name      string `json:"name"`
+			Precision string `json:"precision"`
+		} `json:"shards"`
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(hz.Shards) != 2 {
+		t.Fatalf("healthz shards = %+v", hz.Shards)
+	}
+	for _, sh := range hz.Shards {
+		if sh.Precision != want[sh.Name] {
+			t.Fatalf("healthz %s precision = %q, want %q", sh.Name, sh.Precision, want[sh.Name])
+		}
+	}
+
+	var sz struct {
+		Precisions map[string]string `json:"precisions"`
+	}
+	resp, err = ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sz.Precisions["shard-0"] != "f32" || sz.Precisions["shard-1"] != "f64" {
+		t.Fatalf("statsz precisions = %v", sz.Precisions)
+	}
+}

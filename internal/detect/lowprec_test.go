@@ -1,0 +1,53 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"reramtest/internal/faults"
+	"reramtest/internal/models"
+	"reramtest/internal/rng"
+	"reramtest/internal/tensor"
+)
+
+// TestUsePrecisionSweep: an F32-tier observation sweep must stay a rounding
+// error from the f64 reference on a clean model, keep seeing in-place weight
+// mutations across Observes (the cache re-sync contract), and fall back to
+// the reference path for networks the tier cannot compile.
+func TestUsePrecisionSweep(t *testing.T) {
+	net := models.MLP(rng.New(1), 12, []int{8}, 6)
+	g := Capture(net, testPatterns(5, 12))
+	g.UsePrecision(tensor.F32)
+
+	o := g.Observe(net)
+	if o.Top1Changes != 0 || o.Top5Changes != 0 {
+		t.Fatalf("f32 self-observation flipped rankings: %+v", o)
+	}
+	if o.AllDist > 1e-5 || o.TopDist > 1e-5 {
+		t.Fatalf("f32 self-observation distance too large: all=%g top=%g", o.AllDist, o.TopDist)
+	}
+
+	// in-place corruption between Observes must register — the sweep engine
+	// re-syncs its converted caches on every rebind
+	target := net.Clone()
+	clean := g.Observe(target)
+	faults.LogNormal{Sigma: 0.5}.Apply(target, rng.New(9))
+	dirty := g.Observe(target)
+	if !(dirty.AllDist > clean.AllDist+0.01) {
+		t.Fatalf("f32 sweep missed the injected fault: clean=%g dirty=%g", clean.AllDist, dirty.AllDist)
+	}
+
+	// f64 reference agrees on the corrupted distances within tier noise
+	gRef := Capture(net, g.Patterns)
+	refDirty := gRef.Observe(target)
+	if math.Abs(refDirty.AllDist-dirty.AllDist) > 1e-4 {
+		t.Fatalf("f32 sweep distance %g too far from f64 %g", dirty.AllDist, refDirty.AllDist)
+	}
+
+	// switching back to the reference tier reproduces f64 exactly
+	g.UsePrecision(0)
+	back := g.Observe(target)
+	if back.AllDist != refDirty.AllDist {
+		t.Fatalf("f64 tier after UsePrecision(F64) diverges: %g vs %g", back.AllDist, refDirty.AllDist)
+	}
+}

@@ -3,14 +3,26 @@
 // their destination-passing BatchInfer kernels, and the whole (N, inDim)
 // pattern batch flows through the stack with zero steady-state allocations.
 //
-// Outputs are bit-identical to the per-sample nn.Network.Forward path: every
-// layer kernel processes batch rows independently with the same inner-loop
-// and summation order as its training-path twin, and parallelism only ever
-// partitions whole samples across pool chunks (never a reduction axis). The
-// golden equivalence tests in this package assert exact float64 equality for
-// every seed model, which is what lets the monitor, detect, campaign and
-// fleet layers route their readouts through an engine without perturbing a
-// single metric, soak gate or journal fingerprint.
+// On the default F64 tier, outputs are bit-identical to the per-sample
+// nn.Network.Forward path: every layer kernel processes batch rows
+// independently with the same inner-loop and summation order as its
+// training-path twin, and parallelism only ever partitions whole samples
+// across pool chunks (never a reduction axis). The golden equivalence tests
+// in this package assert exact float64 equality for every seed model, which
+// is what lets the monitor, detect, campaign and fleet layers route their
+// readouts through an engine without perturbing a single metric, soak gate
+// or journal fingerprint.
+//
+// Options.Precision opts a plan into a fast tier (see DESIGN.md §16): F32
+// compiles the float32 kernel mirror with fused dense+bias(+ReLU) steps and
+// converted-weight caches, accepted within a documented ULP envelope of the
+// F64 reference; I8 compiles dense layers onto the int8×int8→int32 quantized
+// kernels matching the reram DAC/ADC resolution, exactly equal to a
+// model-level quantize-then-f64 oracle. Both tiers keep the preallocated-
+// workspace guarantee: 0 allocs/op in the steady state. Dispatch is chosen
+// once at Compile, never per call. Fast-tier plans snapshot parameters into
+// their caches at Compile/Rebind; callers that mutate weights in place under
+// a live plan refresh the caches with ReloadParams.
 //
 // An Engine is a single-goroutine object, like the layers it wraps; clone
 // the network and compile per goroutine for concurrent inference (the fleet
@@ -18,6 +30,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -26,6 +39,11 @@ import (
 	"reramtest/internal/reram"
 	"reramtest/internal/tensor"
 )
+
+// ErrEmptyBatch is returned by ForwardBatch for an N=0 batch: an empty
+// forward pass has no logits, and silently returning an empty view let
+// callers score nothing and read it as a healthy readout.
+var ErrEmptyBatch = errors.New("engine: empty batch")
 
 // Options tunes a compilation.
 type Options struct {
@@ -49,6 +67,13 @@ type Options struct {
 	// CostModel supplies the crossbar organisation the per-sample cost is
 	// modeled against. The zero value selects reram.DefaultConfig().
 	CostModel reram.Config
+	// Precision selects the numeric tier the plan computes in. The zero
+	// value is tensor.F64, the bit-exact reference arm. tensor.F32 and
+	// tensor.I8 are explicit opt-ins: their outputs differ from the
+	// reference within the tier's documented contract, and the plan's
+	// modeled hardware cost (PlanCost) reflects the cheaper conversions and
+	// narrower buffer traffic of the tier actually compiled.
+	Precision tensor.Precision
 }
 
 // step is one compiled compute layer: its kernel, its workspace, and the
@@ -69,12 +94,16 @@ type step struct {
 // Engine is a compiled batch-first forward plan over an nn.Network.
 type Engine struct {
 	net    *nn.Network
-	steps  []*step
+	steps  []*step // F64 plan (also reused for non-dense stages of I8)
 	inDim  int
 	outVol int
 	chunks int
 	pool   *tensor.Pool
 	wg     sync.WaitGroup
+
+	prec tensor.Precision
+	f32  *f32Plan  // non-nil iff prec == tensor.F32
+	i8   []i8Stage // non-empty iff prec == tensor.I8
 
 	capN, curN int
 
@@ -86,11 +115,38 @@ type Engine struct {
 	perSample reram.Cost     // modeled hardware cost of one sample
 }
 
-// Compile builds an execution plan for net. It fails if a layer neither
-// implements nn.BatchInfer nor marks itself as an inference passthrough —
-// such a network has no batched inference semantics.
+// layerSpec is one non-passthrough layer with its per-sample volumes, the
+// shape-walk every tier's compile and rebind share.
+type layerSpec struct {
+	layer  nn.Layer
+	inVol  int
+	outVol int
+}
+
+// planSpecs walks net's layer stack, eliding inference passthroughs, and
+// returns the compute-layer specs plus the final per-sample output volume.
+func planSpecs(net *nn.Network) ([]layerSpec, int) {
+	shape := []int{net.InDim()}
+	vol := net.InDim()
+	var specs []layerSpec
+	for _, l := range net.Layers() {
+		outShape := l.OutputShape(shape)
+		outVol := volume(outShape)
+		if !isPassthrough(l) {
+			specs = append(specs, layerSpec{layer: l, inVol: vol, outVol: outVol})
+		}
+		shape, vol = outShape, outVol
+	}
+	return specs, vol
+}
+
+// Compile builds an execution plan for net on the requested precision tier.
+// It fails if a layer has no batched inference path on that tier: every
+// compute layer must implement nn.BatchInfer (F64, and the non-dense stages
+// of I8), nn.BatchInferF32 (F32), or be an *nn.Dense narrow enough for the
+// int8 accumulator (I8 dense stages).
 func Compile(net *nn.Network, opts Options) (*Engine, error) {
-	e := &Engine{net: net, inDim: net.InDim(), pool: opts.Pool}
+	e := &Engine{net: net, inDim: net.InDim(), pool: opts.Pool, prec: opts.Precision}
 	if e.pool == nil {
 		e.pool = tensor.SharedPool()
 	}
@@ -98,31 +154,22 @@ func Compile(net *nn.Network, opts Options) (*Engine, error) {
 	if e.chunks <= 0 {
 		e.chunks = e.pool.Workers()
 	}
-	shape := []int{net.InDim()}
-	vol := net.InDim()
-	for _, l := range net.Layers() {
-		outShape := l.OutputShape(shape)
-		outVol := volume(outShape)
-		if isPassthrough(l) {
-			shape, vol = outShape, outVol
-			continue
-		}
-		bl, ok := l.(nn.BatchInfer)
-		if !ok {
-			return nil, fmt.Errorf("engine: layer %q (%T) has no batched inference path", l.Name(), l)
-		}
-		s := &step{layer: l, bl: bl, inVol: vol, outVol: outVol, scratchLen: bl.InferScratch()}
-		s.scratch = make([][]float64, e.chunks)
-		for c := range s.scratch {
-			s.scratch[c] = make([]float64, s.scratchLen)
-		}
-		s.body = func(chunk, lo, hi int) {
-			s.bl.ForwardBatchRange(s.out, s.in, lo, hi, s.scratch[chunk])
-		}
-		e.steps = append(e.steps, s)
-		shape, vol = outShape, outVol
+	specs, outVol := planSpecs(net)
+	e.outVol = outVol
+	var err error
+	switch opts.Precision {
+	case tensor.F64:
+		err = e.compileF64(specs)
+	case tensor.F32:
+		err = e.compileF32(specs)
+	case tensor.I8:
+		err = e.compileI8(specs)
+	default:
+		err = fmt.Errorf("engine: unknown precision %v", opts.Precision)
 	}
-	e.outVol = vol
+	if err != nil {
+		return nil, err
+	}
 	e.counter = opts.Counter
 	if e.counter == nil {
 		e.counter = reram.NewCounter()
@@ -131,13 +178,43 @@ func Compile(net *nn.Network, opts Options) (*Engine, error) {
 	if costCfg.TileRows <= 0 || costCfg.TileCols <= 0 {
 		costCfg = reram.DefaultConfig()
 	}
-	for _, s := range e.steps {
-		e.perSample.Add(reram.ModelLayerCost(s.layer, s.inVol, s.outVol, costCfg))
+	for _, sp := range specs {
+		e.perSample.Add(reram.ModelLayerCostPrec(sp.layer, sp.inVol, sp.outVol, costCfg, e.prec))
 	}
 	if opts.MaxBatch > 0 {
 		e.setBatch(opts.MaxBatch)
 	}
 	return e, nil
+}
+
+// compileF64 builds the reference-tier steps.
+func (e *Engine) compileF64(specs []layerSpec) error {
+	for _, sp := range specs {
+		s, err := e.newF64Step(sp)
+		if err != nil {
+			return err
+		}
+		e.steps = append(e.steps, s)
+	}
+	return nil
+}
+
+// newF64Step builds one float64 BatchInfer step; the I8 compile reuses it
+// for every non-dense stage.
+func (e *Engine) newF64Step(sp layerSpec) (*step, error) {
+	bl, ok := sp.layer.(nn.BatchInfer)
+	if !ok {
+		return nil, fmt.Errorf("engine: layer %q (%T) has no batched inference path", sp.layer.Name(), sp.layer)
+	}
+	s := &step{layer: sp.layer, bl: bl, inVol: sp.inVol, outVol: sp.outVol, scratchLen: bl.InferScratch()}
+	s.scratch = make([][]float64, e.chunks)
+	for c := range s.scratch {
+		s.scratch[c] = make([]float64, s.scratchLen)
+	}
+	s.body = func(chunk, lo, hi int) {
+		s.bl.ForwardBatchRange(s.out, s.in, lo, hi, s.scratch[chunk])
+	}
+	return s, nil
 }
 
 // MustCompile is Compile for statically known-good networks; it panics on
@@ -159,9 +236,13 @@ func (e *Engine) InDim() int { return e.inDim }
 // OutDim returns the flattened per-sample output size.
 func (e *Engine) OutDim() int { return e.outVol }
 
+// Precision returns the numeric tier the plan was compiled for.
+func (e *Engine) Precision() tensor.Precision { return e.prec }
+
 // PlanCost returns the modeled per-sample hardware cost of the compiled
-// plan (see Options.CostModel). Rebind does not change it: the plan's
-// architecture — the only cost input — is invariant across rebinds.
+// plan (see Options.CostModel and Options.Precision). Rebind does not change
+// it: the plan's architecture and tier — the only cost inputs — are
+// invariant across rebinds.
 func (e *Engine) PlanCost() reram.Cost { return e.perSample }
 
 // Counter returns the counter the plan charges; never nil.
@@ -170,58 +251,82 @@ func (e *Engine) Counter() *reram.Counter { return e.counter }
 // Rebind points the compiled plan at another network with the same
 // architecture (typically a clone of the original with different weights:
 // a fault model, a refreshed crossbar readout). Workspaces, views and
-// precompiled bodies are all reused — only the layer bindings swap. It
-// returns an error, leaving the engine untouched, if net's layer stack does
-// not match the plan; callers then fall back to a fresh Compile.
+// precompiled bodies are all reused — only the layer bindings swap, and on
+// the fast tiers the converted/quantized parameter caches are reloaded from
+// the new network. It returns an error, leaving the engine untouched, if
+// net's layer stack does not match the plan; callers then fall back to a
+// fresh Compile.
 func (e *Engine) Rebind(net *nn.Network) error {
 	if net == e.net {
+		// The reference tier reads the parameter tensors at call time, so
+		// rebinding a network to itself is a no-op. The fast tiers snapshot
+		// parameters at compile time — a same-network rebind is a sweep's way
+		// of saying "the weights may have moved", so refresh the converted
+		// caches (no-op on tensor.F64).
+		e.ReloadParams()
 		return nil
 	}
 	if net.InDim() != e.inDim {
 		return fmt.Errorf("engine: rebind input dim %d != %d", net.InDim(), e.inDim)
 	}
-	pending := make([]nn.BatchInfer, 0, len(e.steps))
-	shape := []int{net.InDim()}
-	vol := net.InDim()
-	si := 0
-	for _, l := range net.Layers() {
-		outShape := l.OutputShape(shape)
-		outVol := volume(outShape)
-		if isPassthrough(l) {
-			shape, vol = outShape, outVol
-			continue
-		}
-		bl, ok := l.(nn.BatchInfer)
-		if !ok {
-			return fmt.Errorf("engine: rebind layer %q (%T) has no batched inference path", l.Name(), l)
-		}
-		if si >= len(e.steps) {
-			return fmt.Errorf("engine: rebind network has more compute layers than the plan (%d)", len(e.steps))
-		}
-		s := e.steps[si]
-		if fmt.Sprintf("%T", l) != fmt.Sprintf("%T", s.layer) ||
-			s.inVol != vol || s.outVol != outVol || s.scratchLen != bl.InferScratch() {
-			return fmt.Errorf("engine: rebind layer %q does not match compiled step %q", l.Name(), s.layer.Name())
-		}
-		pending = append(pending, bl)
-		shape, vol = outShape, outVol
-		si++
+	specs, _ := planSpecs(net)
+	var err error
+	switch e.prec {
+	case tensor.F32:
+		err = e.rebindF32(specs)
+	case tensor.I8:
+		err = e.rebindI8(specs)
+	default:
+		err = e.rebindF64(specs)
 	}
-	if si != len(e.steps) {
-		return fmt.Errorf("engine: rebind network has %d compute layers, plan has %d", si, len(e.steps))
-	}
-	for i, s := range e.steps {
-		s.bl = pending[i]
-		s.layer = s.bl.(nn.Layer)
+	if err != nil {
+		return err
 	}
 	e.net = net
 	return nil
 }
 
-// setBatch sizes workspaces and rebuilds the (n, vol) views. Buffers grow
-// when n exceeds the current capacity; view headers are rebuilt only when n
-// changes, so a steady stream of same-size batches allocates nothing.
+// rebindF64 swaps the reference-tier step bindings.
+func (e *Engine) rebindF64(specs []layerSpec) error {
+	if len(specs) != len(e.steps) {
+		return fmt.Errorf("engine: rebind network has %d compute layers, plan has %d", len(specs), len(e.steps))
+	}
+	pending := make([]nn.BatchInfer, len(specs))
+	for i, sp := range specs {
+		s := e.steps[i]
+		bl, ok := sp.layer.(nn.BatchInfer)
+		if !ok {
+			return fmt.Errorf("engine: rebind layer %q (%T) has no batched inference path", sp.layer.Name(), sp.layer)
+		}
+		if fmt.Sprintf("%T", sp.layer) != fmt.Sprintf("%T", s.layer) ||
+			s.inVol != sp.inVol || s.outVol != sp.outVol || s.scratchLen != bl.InferScratch() {
+			return fmt.Errorf("engine: rebind layer %q does not match compiled step %q", sp.layer.Name(), s.layer.Name())
+		}
+		pending[i] = bl
+	}
+	for i, s := range e.steps {
+		s.bl = pending[i]
+		s.layer = s.bl.(nn.Layer)
+	}
+	return nil
+}
+
+// setBatch sizes workspaces and rebuilds the batch-length views for the
+// compiled tier. Buffers grow when n exceeds the current capacity; views are
+// rebuilt only when n changes, so a steady stream of same-size batches
+// allocates nothing.
 func (e *Engine) setBatch(n int) {
+	switch e.prec {
+	case tensor.F32:
+		e.setBatchF32(n)
+	case tensor.I8:
+		e.setBatchI8(n)
+	default:
+		e.setBatchF64(n)
+	}
+}
+
+func (e *Engine) setBatchF64(n int) {
 	if n > e.capN {
 		for _, s := range e.steps {
 			s.buf = make([]float64, n*s.outVol)
@@ -238,42 +343,65 @@ func (e *Engine) setBatch(n int) {
 	e.curN = n
 }
 
+// runStep executes one f64 step body across the pool (shared by the F64 plan
+// and the non-dense stages of the I8 plan).
+func (e *Engine) runStep(s *step, cur *tensor.Tensor, n int) *tensor.Tensor {
+	s.in = cur
+	if e.chunks <= 1 || n == 1 {
+		s.body(0, 0, n)
+	} else {
+		e.pool.RunWith(&e.wg, n, e.chunks, s.body)
+	}
+	return s.out
+}
+
 // ForwardBatch runs the (N, inDim) batch x through the plan and returns the
 // (N, outDim) logits. When dst is non-nil the logits are copied into it and
 // dst is returned; when dst is nil the engine's internal output view is
 // returned, valid until the next call. Either way the computation happens in
 // the preallocated workspaces: the steady state (same batch size, dst nil)
-// performs no allocations.
-func (e *Engine) ForwardBatch(dst, x *tensor.Tensor) *tensor.Tensor {
+// performs no allocations. An N=0 batch returns ErrEmptyBatch — there are no
+// logits to produce, and the silent empty output it used to return scored as
+// a healthy readout downstream.
+func (e *Engine) ForwardBatch(dst, x *tensor.Tensor) (*tensor.Tensor, error) {
 	tensor.AssertDims("engine.ForwardBatch x", x, tensor.Wildcard, e.inDim)
 	n := x.Dim(0)
+	if n == 0 {
+		return nil, ErrEmptyBatch
+	}
 	e.setBatch(n)
 	e.counter.Charge(e.perSample.Scale(uint64(n)))
-	cur := x
-	for _, s := range e.steps {
-		s.in = cur
-		if e.chunks <= 1 || n == 1 {
-			s.body(0, 0, n)
-		} else {
-			e.pool.RunWith(&e.wg, n, e.chunks, s.body)
+	var cur *tensor.Tensor
+	switch e.prec {
+	case tensor.F32:
+		cur = e.forwardF32(x, n)
+	case tensor.I8:
+		cur = e.forwardI8(x, n)
+	default:
+		cur = x
+		for _, s := range e.steps {
+			cur = e.runStep(s, cur, n)
 		}
-		cur = s.out
 	}
 	if dst == nil {
-		return cur
+		return cur, nil
 	}
 	tensor.AssertDims("engine.ForwardBatch dst", dst, n, e.outVol)
 	copy(dst.Data(), cur.Data())
-	return dst
+	return dst, nil
 }
 
 // Probs runs ForwardBatch and applies the row-wise softmax, returning the
 // (N, outDim) confidence batch in a reused internal buffer (valid until the
 // next call). Its method value satisfies the monitor's Infer signature, which
 // is how a monitor Check feeds all M patterns through the accelerator model
-// in one allocation-free call.
+// in one allocation-free call. It panics on an empty batch — readout
+// consumers always probe with at least one pattern.
 func (e *Engine) Probs(x *tensor.Tensor) *tensor.Tensor {
-	logits := e.ForwardBatch(nil, x)
+	logits, err := e.ForwardBatch(nil, x)
+	if err != nil {
+		panic(err)
+	}
 	n := logits.Dim(0)
 	if need := n * e.outVol; need > cap(e.probsBuf) {
 		e.probsBuf = make([]float64, need)
@@ -292,9 +420,12 @@ func (e *Engine) Probs(x *tensor.Tensor) *tensor.Tensor {
 // (N, outDim) confidence batch into dst and returning it. Unlike Probs the
 // result does not alias any engine workspace, so the caller owns it outright
 // — this is the snapshot primitive that lets one compiled plan serve
-// multiple consumers (see Shared).
+// multiple consumers (see Shared). It panics on an empty batch.
 func (e *Engine) ProbsInto(dst, x *tensor.Tensor) *tensor.Tensor {
-	logits := e.ForwardBatch(nil, x)
+	logits, err := e.ForwardBatch(nil, x)
+	if err != nil {
+		panic(err)
+	}
 	n := logits.Dim(0)
 	tensor.AssertDims("engine.ProbsInto dst", dst, n, e.outVol)
 	copy(dst.Data(), logits.Data())
@@ -303,8 +434,15 @@ func (e *Engine) ProbsInto(dst, x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Predict returns the argmax class per sample, matching nn.Network.Predict.
+// An empty batch predicts nothing.
 func (e *Engine) Predict(x *tensor.Tensor) []int {
-	logits := e.ForwardBatch(nil, x)
+	if x.Dim(0) == 0 {
+		return nil
+	}
+	logits, err := e.ForwardBatch(nil, x)
+	if err != nil {
+		panic(err)
+	}
 	n := logits.Dim(0)
 	k := e.outVol
 	ld := logits.Data()

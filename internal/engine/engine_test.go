@@ -96,6 +96,17 @@ func seedModels() []struct {
 	}
 }
 
+// mustForward runs ForwardBatch and fails the test on error; the suites here
+// never send empty batches.
+func mustForward(t testing.TB, eng *Engine, dst, x *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	out, err := eng.ForwardBatch(dst, x)
+	if err != nil {
+		t.Fatalf("ForwardBatch: %v", err)
+	}
+	return out
+}
+
 // serialForward is the reference path: one sample at a time through the
 // training-path Network.Forward, reassembled into a batch.
 func serialForward(net *nn.Network, x *tensor.Tensor) *tensor.Tensor {
@@ -143,13 +154,13 @@ func TestEngineGoldenEquivalence(t *testing.T) {
 				for _, n := range batches {
 					x := tensor.RandUniform(rng.New(int64(100+n)), 0, 1, n, net.InDim())
 					want := serialForward(net, x)
-					got := eng.ForwardBatch(nil, x)
+					got := mustForward(t, eng, nil, x)
 					if !got.Equal(want) {
 						t.Fatalf("%s n=%d: batched forward is not bit-identical to serial", cfg.label, n)
 					}
 					// dst-passing variant must produce the same bits too
 					dst := tensor.New(n, eng.OutDim())
-					eng.ForwardBatch(dst, x)
+					mustForward(t, eng, dst, x)
 					if !dst.Equal(want) {
 						t.Fatalf("%s n=%d: dst-passing forward differs", cfg.label, n)
 					}
@@ -196,7 +207,7 @@ func TestEngineRebind(t *testing.T) {
 	net := models.MLP(rng.New(31), 16, []int{24, 16}, 6)
 	eng := MustCompile(net, Options{Workers: 1})
 	x := tensor.RandUniform(rng.New(32), 0, 1, 9, 16)
-	base := eng.ForwardBatch(nil, x).Clone()
+	base := mustForward(t, eng, nil, x).Clone()
 
 	clone := net.Clone()
 	for _, p := range clone.Params() {
@@ -208,7 +219,7 @@ func TestEngineRebind(t *testing.T) {
 	if eng.Network() != clone {
 		t.Fatal("Network() does not report the rebound net")
 	}
-	got := eng.ForwardBatch(nil, x)
+	got := mustForward(t, eng, nil, x)
 	if !got.Equal(serialForward(clone, x)) {
 		t.Fatal("rebound engine is not bit-identical to the clone's forward")
 	}
@@ -232,7 +243,7 @@ func TestEngineRebind(t *testing.T) {
 	if err := eng.Rebind(deeper); err == nil {
 		t.Fatal("rebind accepted a deeper network")
 	}
-	if !eng.ForwardBatch(nil, x).Equal(base) {
+	if !mustForward(t, eng, nil, x).Equal(base) {
 		t.Fatal("failed rebinds perturbed the engine")
 	}
 }
@@ -294,7 +305,8 @@ func TestEnginesShareOnePool(t *testing.T) {
 		go func() {
 			eng := MustCompile(net.Clone(), Options{Pool: pool})
 			for iter := 0; iter < 40; iter++ {
-				if !eng.ForwardBatch(nil, x).Equal(want) {
+				out, err := eng.ForwardBatch(nil, x)
+				if err != nil || !out.Equal(want) {
 					done <- errDiverged
 					return
 				}

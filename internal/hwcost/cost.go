@@ -25,7 +25,8 @@
 // coefficients in the range published for ISAAC-class designs, so EnergyFJ
 // is a modeled (relative) figure, not a measured one. See DESIGN.md §14.
 //
-// This package is a dependency leaf (it imports only nn and the runtime):
+// This package is a dependency leaf (it imports only nn, tensor and the
+// runtime):
 // the simulated accelerator (internal/reram), the inference engine and the
 // training engine all charge into it without importing each other. The reram
 // package re-exports every name here under type aliases, so device-facing
@@ -36,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"reramtest/internal/nn"
+	"reramtest/internal/tensor"
 )
 
 // Modeled per-event energy coefficients in femtojoules. Fixed integers keep
@@ -48,6 +50,42 @@ const (
 	EnergyDACFJ       = 4
 	EnergyADCFJ       = 16
 )
+
+// Per-precision conversion energy. The sticker coefficients above price a
+// conversion fed from a full-width float64 word — converter plus the digital
+// staging that shuttles 8-byte operands to and from it. A plan compiled on
+// the int8 tier hands the converters ready-made 8-bit codes: no mantissa
+// rounding network, a quarter of the staging toggles, so its conversions are
+// modeled at a quarter of the sticker energy. The float32 tier keeps the
+// sticker conversion energy (the converter itself still quantizes an analog
+// word; narrowing the float changes nothing at the DAC input latch) but
+// halves the digital buffer traffic — see ElemBytes.
+const (
+	EnergyDACI8FJ = 1
+	EnergyADCI8FJ = 4
+)
+
+// ConvEnergy returns the modeled per-conversion DAC and ADC energy for a
+// plan precision.
+func ConvEnergy(p tensor.Precision) (dacFJ, adcFJ uint64) {
+	if p == tensor.I8 {
+		return EnergyDACI8FJ, EnergyADCI8FJ
+	}
+	return EnergyDACFJ, EnergyADCFJ
+}
+
+// ElemBytes returns the digital buffer width of one element on a plan
+// precision: 8 bytes for float64, 4 for float32, 1 for int8 codes.
+func ElemBytes(p tensor.Precision) uint64 {
+	switch p {
+	case tensor.F32:
+		return 4
+	case tensor.I8:
+		return 1
+	default:
+		return 8
+	}
+}
 
 // Cost is one integer-denominated hardware spend total. The zero value is
 // free. Costs add field-wise; no field ever carries IEEE arithmetic, so sums
@@ -371,6 +409,15 @@ const (
 // included at its dense upper bound because no DAC sparsity gate runs.
 // tileRows/tileCols ≤ 0 select the defaults.
 func MatVecCost(out, in, tileRows, tileCols int, denseReads bool) Cost {
+	return MatVecCostPrec(out, in, tileRows, tileCols, denseReads, tensor.F64)
+}
+
+// MatVecCostPrec is MatVecCost priced at a plan precision: the event counts
+// are identical (the tiling does not change with the numeric tier), but
+// conversions charge the tier's energy coefficients and buffer traffic
+// charges the tier's element width. MatVecCostPrec(..., tensor.F64) is
+// exactly MatVecCost — the sticker model stays the committed baseline.
+func MatVecCostPrec(out, in, tileRows, tileCols int, denseReads bool, p tensor.Precision) Cost {
 	if tileRows <= 0 {
 		tileRows = DefaultTileRows
 	}
@@ -386,13 +433,14 @@ func MatVecCost(out, in, tileRows, tileCols int, denseReads bool) Cost {
 		DACConversions: uint64(in),
 		// each tile pair drains both polarities' bitlines per row-tile pass
 		ADCConversions: 2 * rowTiles * colTiles * uint64(tileCols),
-		// inputs staged in, outputs drained out, 8 bytes per float64
-		BufferBytes: uint64(in+out) * 8,
+		// inputs staged in, outputs drained out, at the tier's element width
+		BufferBytes: uint64(in+out) * ElemBytes(p),
 	}
 	if denseReads {
 		c.CrossbarReads = 2 * uint64(in) * uint64(out)
 	}
-	c.EnergyFJ = c.DACConversions*EnergyDACFJ + c.ADCConversions*EnergyADCFJ +
+	dacFJ, adcFJ := ConvEnergy(p)
+	c.EnergyFJ = c.DACConversions*dacFJ + c.ADCConversions*adcFJ +
 		c.CrossbarReads*EnergyCellReadFJ
 	return c
 }
@@ -404,16 +452,25 @@ func MatVecCost(out, in, tileRows, tileCols int, denseReads bool) Cost {
 // prices one matvec per output spatial position, and digital peripheral ops
 // price as buffer traffic only.
 func ModelLayerCost(l nn.Layer, inVol, outVol, tileRows, tileCols int) Cost {
+	return ModelLayerCostPrec(l, inVol, outVol, tileRows, tileCols, tensor.F64)
+}
+
+// ModelLayerCostPrec is ModelLayerCost priced at a plan precision, so a
+// shard that compiled its engines on a fast tier rolls cheaper conversions
+// and narrower buffer traffic up through its /statsz cost breakdown instead
+// of the f64 sticker numbers. ModelLayerCostPrec(..., tensor.F64) is exactly
+// ModelLayerCost.
+func ModelLayerCostPrec(l nn.Layer, inVol, outVol, tileRows, tileCols int, p tensor.Precision) Cost {
 	switch ll := l.(type) {
 	case *nn.Dense:
-		return MatVecCost(ll.Out(), ll.In(), tileRows, tileCols, true)
+		return MatVecCostPrec(ll.Out(), ll.In(), tileRows, tileCols, true, p)
 	case *nn.Conv2D:
 		g := ll.Geom()
 		spatial := g.OutH() * g.OutW()
 		ckk := g.InC * g.KH * g.KW
-		return MatVecCost(ll.OutC(), ckk, tileRows, tileCols, true).Scale(uint64(spatial))
+		return MatVecCostPrec(ll.OutC(), ckk, tileRows, tileCols, true, p).Scale(uint64(spatial))
 	default:
-		return Cost{BufferBytes: uint64(inVol+outVol) * 8}
+		return Cost{BufferBytes: uint64(inVol+outVol) * ElemBytes(p)}
 	}
 }
 

@@ -76,10 +76,11 @@ func Train(net *nn.Network, train, test *dataset.Dataset, cfg TrainConfig) float
 				break
 			}
 			var loss float64
+			// iterator batches are never empty (Next reported ok)
 			if cfg.LabelSmooth > 0 {
-				loss = eng.ForwardBackwardSoft(bx, smooth.fill(by))
+				loss, _ = eng.ForwardBackwardSoft(bx, smooth.fill(by))
 			} else {
-				loss = eng.ForwardBackward(bx, by)
+				loss, _ = eng.ForwardBackward(bx, by)
 			}
 			sgd.StepAndZero()
 			totalLoss += loss

@@ -1,0 +1,51 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"reramtest/internal/tensor"
+)
+
+// TestNetworkInferAtTracksWeightMutation: the fast-tier Infer must keep
+// NetworkInfer's contract — in-place weight changes through the network's
+// Params are visible on the next probe — and stay close to the f64 readout.
+func TestNetworkInferAtTracksWeightMutation(t *testing.T) {
+	m, net := testMonitor(t, nil)
+	ref := NetworkInfer(net)
+	fast := NetworkInferAt(net, tensor.F32)
+
+	x := m.golden.Patterns.X
+	close := func(a, b *tensor.Tensor) bool {
+		ad, bd := a.Data(), b.Data()
+		for i := range ad {
+			if math.Abs(ad[i]-bd[i]) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if !close(fast(x).Clone(), ref(x)) {
+		t.Fatal("f32 probe too far from the f64 readout on the clean model")
+	}
+
+	before := fast(x).Clone()
+	// drift the first weight tensor in place — the monitor's fault sweeps
+	// mutate networks exactly like this
+	net.Params()[0].Value.ScaleInPlace(0.5)
+	after := fast(x).Clone()
+	if after.Equal(before) {
+		t.Fatal("f32 probe did not see the in-place weight mutation")
+	}
+	if !close(after, ref(x)) {
+		t.Fatal("f32 probe diverged from the f64 readout after mutation")
+	}
+
+	// the monitor itself stays Healthy probing the clean model on the tier
+	_, net2 := testMonitor(t, nil)
+	m2, _ := testMonitor(t, nil)
+	rep := m2.Check(NetworkInferAt(net2, tensor.F32))
+	if rep.Status != Healthy {
+		t.Fatalf("f32 self-check reported %s", rep.Status)
+	}
+}

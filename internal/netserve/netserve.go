@@ -616,7 +616,8 @@ type ShardStatus struct {
 	Name        string
 	Draining    bool
 	InFlight    int64
-	Unjournaled bool // shard lost its journal and is running memory-only
+	Unjournaled bool   // shard lost its journal and is running memory-only
+	Precision   string // numeric tier label ("f64", "f32", "i8")
 	Serving     []string
 	Quarantined []string
 	Retired     []string
@@ -632,6 +633,7 @@ func (f *Frontend) Status() []ShardStatus {
 			Draining:    sh.draining.Load(),
 			InFlight:    sh.inflight.Load(),
 			Unjournaled: sh.srv.Unjournaled(),
+			Precision:   sh.srv.Precision().String(),
 			Serving:     sh.srv.Serving(),
 			Quarantined: sh.srv.Quarantined(),
 			Retired:     sh.srv.Retired(),

@@ -58,7 +58,8 @@ func HardenDropConnect(net *nn.Network, train, eval *dataset.Dataset, cfg Harden
 			if !ok {
 				break
 			}
-			total += dc.Step(bx, by)
+			loss, _ := dc.Step(bx, by) // iterator batches are never empty
+			total += loss
 			sgd.StepAndZero()
 			batches++
 		}

@@ -85,7 +85,7 @@ func RetrainAroundCtx(ctx context.Context, net *nn.Network, stuck StuckMask, tra
 			if !ok {
 				break
 			}
-			loss := eng.ForwardBackward(bx, by)
+			loss, _ := eng.ForwardBackward(bx, by) // iterator batches are never empty
 			freezeStuckGradients(net, stuck)
 			sgd.StepAndZero()
 			restoreStuck() // momentum-proof: hold faulty cells exactly

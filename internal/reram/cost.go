@@ -13,6 +13,7 @@ package reram
 import (
 	"reramtest/internal/hwcost"
 	"reramtest/internal/nn"
+	"reramtest/internal/tensor"
 )
 
 // Modeled per-event energy coefficients in femtojoules (see hwcost).
@@ -57,6 +58,14 @@ func MatVecCost(out, in int, cfg Config, denseReads bool) Cost {
 // from a simulator Config.
 func ModelLayerCost(l nn.Layer, inVol, outVol int, cfg Config) Cost {
 	return hwcost.ModelLayerCost(l, inVol, outVol, cfg.TileRows, cfg.TileCols)
+}
+
+// ModelLayerCostPrec is hwcost.ModelLayerCostPrec with the tile organisation
+// drawn from a simulator Config: the per-layer cost model priced at the
+// numeric tier a plan actually compiled (int8 conversions are cheaper than
+// the f64 sticker model, narrower elements mean less buffer traffic).
+func ModelLayerCostPrec(l nn.Layer, inVol, outVol int, cfg Config, p tensor.Precision) Cost {
+	return hwcost.ModelLayerCostPrec(l, inVol, outVol, cfg.TileRows, cfg.TileCols, p)
 }
 
 // readCost/writeCost are the tile-level charge helpers the crossbar and

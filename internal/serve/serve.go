@@ -71,6 +71,13 @@ type Config struct {
 	// DefaultDeadline is applied to requests whose context carries no
 	// deadline (0 → 1s).
 	DefaultDeadline time.Duration
+	// Precision labels the numeric tier this server's devices compute at
+	// (tensor.F64 reference by default). The server does not compile engines
+	// itself — devices arrive with their plans — so this is operator-facing
+	// telemetry: it rides through Precision(), netserve shard status,
+	// /v1/healthz and /statsz, letting a mixed-precision tier show which
+	// shards answer from the fast tiers.
+	Precision tensor.Precision
 }
 
 // DefaultConfig returns the serving defaults.
@@ -581,6 +588,10 @@ func (s *Server) JournalError() error {
 func (s *Server) Devices() []string { return s.sup.DeviceIDs() }
 
 // Stats snapshots the lifetime counters.
+// Precision reports the numeric tier label this server was configured with
+// (see Config.Precision).
+func (s *Server) Precision() tensor.Precision { return s.cfg.Precision }
+
 func (s *Server) Stats() Stats {
 	return Stats{
 		Admitted:       s.admitted.Load(),

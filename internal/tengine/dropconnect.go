@@ -63,8 +63,10 @@ func (d *DropConnect) Engine() *Engine { return d.eng }
 // Step runs one masked training step: draw fresh masks, zero the dropped
 // weights, ForwardBackward, restore the weights, zero the dropped
 // positions' gradients. Param.Grad then holds the masked-objective batch
-// gradient, ready for StepAndZero. Returns the loss.
-func (d *DropConnect) Step(x *tensor.Tensor, labels []int) float64 {
+// gradient, ready for StepAndZero. Returns the loss; an ErrEmptyBatch from
+// the engine propagates after the weights are restored (the masks were
+// already applied), leaving gradients untouched.
+func (d *DropConnect) Step(x *tensor.Tensor, labels []int) (float64, error) {
 	// serial mask prepass: param order, row-major element order
 	for pi, par := range d.params {
 		data, mask, saved := par.Value.Data(), d.masks[pi], d.saved[pi]
@@ -77,15 +79,17 @@ func (d *DropConnect) Step(x *tensor.Tensor, labels []int) float64 {
 			}
 		}
 	}
-	loss := d.eng.ForwardBackward(x, labels)
+	loss, err := d.eng.ForwardBackward(x, labels)
 	for pi, par := range d.params {
 		data, grad, mask, saved := par.Value.Data(), par.Grad.Data(), d.masks[pi], d.saved[pi]
 		for j, drop := range mask {
 			if drop {
 				data[j] = saved[j]
-				grad[j] = 0
+				if err == nil {
+					grad[j] = 0
+				}
 			}
 		}
 	}
-	return loss
+	return loss, err
 }

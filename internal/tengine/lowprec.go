@@ -1,0 +1,244 @@
+package tengine
+
+import (
+	"fmt"
+
+	"reramtest/internal/nn"
+	"reramtest/internal/tensor"
+)
+
+// This file is the training half of the multi-precision tier: a self-contained
+// float32 forward+backward plan for dense/ReLU stacks. The contract mirrors
+// the inference engine's F32 tier — bounded error versus the f64 reference,
+// never bit-identity — with one training-specific twist: the float64 Param
+// tensors stay the masters. The plan narrows them into its f32 caches at the
+// START of every step (the optimizer mutates the masters between steps), runs
+// the whole pass in float32, and widens the batch gradients back into
+// Param.Grad. Loss and its logit gradient are computed in float64 through the
+// same nn.CrossEntropyInto the reference plan uses, on the widened logits, so
+// the loss scalar callers train against is the exact f64 loss of the f32
+// forward pass.
+//
+// The tier is deliberately narrow: only *nn.Dense and *nn.ReLU compute layers
+// (plus the usual passthrough elisions) compile — the monitor-sized MLPs this
+// repo retrains — and execution is serial; the f64 plan keeps the
+// chunk-parallel golden path. PrecisionI8 is inference-only: int8 backward
+// would need straight-through estimators the paper's repair loop never uses,
+// so Compile rejects it with a typed error rather than silently degrading.
+
+// f32TrainStep is one compiled compute layer of the f32 training plan.
+// Exactly one of dense/relu semantics applies (dense == nil means ReLU).
+type f32TrainStep struct {
+	dense         *nn.Dense
+	inVol, outVol int
+
+	wT32 []float32 // (Out, In) transposed weight cache, resynced per step
+	b32  []float32 // bias cache
+	dW32 []float32 // (In, Out) weight-gradient scratch
+	db32 []float32 // bias-gradient scratch
+
+	outBuf  []float32 // forward output, cap ≥ capN·outVol
+	gradBuf []float32 // dL/d(input), nil for an untapped first step
+
+	in32, out32, grad32 []float32 // current-batch views
+}
+
+// f32TrainPlan owns the tier's workspaces. All buffers are sized by setBatch
+// and reused: a steady stream of same-size batches allocates nothing.
+type f32TrainPlan struct {
+	steps []*f32TrainStep
+
+	inBuf    []float32 // narrowed input batch
+	lossBuf  []float32 // narrowed dL/d(logits)
+	logitBuf []float64 // widened logits the f64 loss kernels read
+	logits   *tensor.Tensor
+	gradBuf  []float64 // widened dL/d(input) behind InputGrad()
+	inGrad   *tensor.Tensor
+
+	noParamGrads bool
+}
+
+// compileF32 builds the f32 training plan. Volumes and passthrough elision
+// follow the reference walk exactly; only the kernel bindings differ.
+func (e *Engine) compileF32(net *nn.Network, opts Options) error {
+	p := &f32TrainPlan{noParamGrads: opts.NoParamGrads}
+	shape := []int{net.InDim()}
+	vol := net.InDim()
+	for _, l := range net.Layers() {
+		outShape := l.OutputShape(shape)
+		outVol := volume(outShape)
+		if isPassthrough(l) {
+			shape, vol = outShape, outVol
+			continue
+		}
+		s := &f32TrainStep{inVol: vol, outVol: outVol}
+		switch ll := l.(type) {
+		case *nn.Dense:
+			s.dense = ll
+			s.wT32 = make([]float32, ll.In()*ll.Out())
+			s.b32 = make([]float32, ll.Out())
+			if !opts.NoParamGrads {
+				s.dW32 = make([]float32, ll.In()*ll.Out())
+				s.db32 = make([]float32, ll.Out())
+			}
+		case *nn.ReLU:
+			// no state
+		default:
+			return fmt.Errorf("tengine: layer %q (%T) has no float32 training path; PrecisionF32 trains dense/ReLU stacks only", l.Name(), l)
+		}
+		p.steps = append(p.steps, s)
+		// the training engine's step bookkeeping (cost model, OutDim) reads
+		// e.steps; mirror the volumes with kernel-less reference steps
+		e.steps = append(e.steps, &step{layer: l, inVol: vol, outVol: outVol})
+		shape, vol = outShape, outVol
+	}
+	if len(p.steps) == 0 {
+		return fmt.Errorf("tengine: network %q has no trainable compute layers", net.Name())
+	}
+	e.outVol = vol
+	e.f32 = p
+	return nil
+}
+
+// setBatchF32 sizes the tier's workspaces for an n-sample batch.
+func (e *Engine) setBatchF32(n int) {
+	p := e.f32
+	if n > e.capN {
+		p.inBuf = make([]float32, n*e.inDim)
+		for i, s := range p.steps {
+			s.outBuf = make([]float32, n*s.outVol)
+			if i > 0 || e.inputGrad {
+				s.gradBuf = make([]float32, n*s.inVol)
+			}
+		}
+		p.lossBuf = make([]float32, n*e.outVol)
+		p.logitBuf = make([]float64, n*e.outVol)
+		e.lossBuf = make([]float64, n*e.outVol)
+		if e.inputGrad {
+			p.gradBuf = make([]float64, n*e.inDim)
+		}
+		e.capN = n
+		e.curN = 0
+	}
+	if n == e.curN {
+		return
+	}
+	for _, s := range p.steps {
+		s.out32 = s.outBuf[:n*s.outVol]
+		if s.gradBuf != nil {
+			s.grad32 = s.gradBuf[:n*s.inVol]
+		}
+	}
+	p.logits = tensor.FromSlice(p.logitBuf[:n*e.outVol], n, e.outVol)
+	e.lossGrad = tensor.FromSlice(e.lossBuf[:n*e.outVol], n, e.outVol)
+	if e.inputGrad {
+		p.inGrad = tensor.FromSlice(p.gradBuf[:n*e.inDim], n, e.inDim)
+	}
+	e.curN = n
+}
+
+// reloadF32 narrows the float64 parameter masters into the step caches —
+// called at the start of every training step, because the optimizer advanced
+// the masters since the last one.
+func (p *f32TrainPlan) reload() {
+	for _, s := range p.steps {
+		if s.dense == nil {
+			continue
+		}
+		in, out := s.dense.In(), s.dense.Out()
+		w := s.dense.Params()[0].Value.Data()
+		for j := 0; j < out; j++ {
+			row := s.wT32[j*in : (j+1)*in]
+			for k := range row {
+				row[k] = float32(w[k*out+j])
+			}
+		}
+		b := s.dense.Params()[1].Value.Data()
+		for j, v := range b {
+			s.b32[j] = float32(v)
+		}
+	}
+}
+
+// stepF32 is the f32 tier's ForwardBackward body: narrow, forward, f64 loss on
+// widened logits, backward, widen gradients into Param.Grad.
+func (e *Engine) stepF32(x *tensor.Tensor, loss func(logits *tensor.Tensor) float64) float64 {
+	p := e.f32
+	n := x.Dim(0)
+	e.setBatchF32(n)
+	p.reload()
+
+	// forward
+	xin := p.inBuf[:n*e.inDim]
+	tensor.ConvertF64ToF32(xin, x.Data())
+	cur := xin
+	for _, s := range p.steps {
+		s.in32 = cur
+		if s.dense != nil {
+			tensor.DenseForwardF32(s.out32, cur, s.wT32, s.b32, n, s.inVol, s.outVol, 0, n, false)
+		} else {
+			for i, v := range cur {
+				if v < 0 {
+					v = 0
+				}
+				s.out32[i] = v
+			}
+		}
+		cur = s.out32
+	}
+	tensor.ConvertF32ToF64(p.logitBuf[:n*e.outVol], cur)
+
+	// loss + dL/d(logits) in f64 through the reference kernels, then narrow
+	lossVal := loss(p.logits)
+	tensor.ConvertF64ToF32(p.lossBuf[:n*e.outVol], e.lossBuf[:n*e.outVol])
+
+	// backward
+	up := p.lossBuf[:n*e.outVol]
+	for i := len(p.steps) - 1; i >= 0; i-- {
+		s := p.steps[i]
+		if s.dense != nil {
+			in, out := s.inVol, s.outVol
+			if !p.noParamGrads {
+				// dW = xᵀ·g over the batch, db = column sums of g
+				tensor.MatMulTransASlicesF32(s.dW32, s.in32, up, n, in, out)
+				for j := range s.db32 {
+					s.db32[j] = 0
+				}
+				for r := 0; r < n; r++ {
+					grow := up[r*out : (r+1)*out]
+					for j, v := range grow {
+						s.db32[j] += v
+					}
+				}
+				gw := s.dense.Params()[0].Grad.Data()
+				for k, v := range s.dW32 {
+					gw[k] = float64(v)
+				}
+				gb := s.dense.Params()[1].Grad.Data()
+				for j, v := range s.db32 {
+					gb[j] = float64(v)
+				}
+			}
+			if s.grad32 != nil {
+				// dx = g·Wᵀ — the forward cache is already (Out, In) row-major
+				tensor.MatMulSlicesF32(s.grad32, up, s.wT32, n, out, in)
+			}
+		} else if s.grad32 != nil {
+			for idx, v := range up {
+				if s.out32[idx] > 0 {
+					s.grad32[idx] = v
+				} else {
+					s.grad32[idx] = 0
+				}
+			}
+		}
+		if s.grad32 == nil {
+			break
+		}
+		up = s.grad32
+	}
+	if e.inputGrad {
+		tensor.ConvertF32ToF64(p.gradBuf[:n*e.inDim], p.steps[0].grad32)
+	}
+	return lossVal
+}

@@ -1,0 +1,153 @@
+package tengine_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"reramtest/internal/models"
+	"reramtest/internal/nn"
+	"reramtest/internal/opt"
+	"reramtest/internal/rng"
+	"reramtest/internal/tengine"
+	"reramtest/internal/tensor"
+)
+
+// TestForwardBackwardEmptyBatch is the N=0 regression for the typed
+// sentinel: both step entry points must refuse an empty batch on every tier,
+// without charging the counter or touching gradients.
+func TestForwardBackwardEmptyBatch(t *testing.T) {
+	for _, prec := range []tensor.Precision{tensor.F64, tensor.F32} {
+		net := models.MLP(rng.New(3), 16, []int{24, 16}, 6)
+		net.SetTraining(true)
+		eng := tengine.MustCompile(net, tengine.Options{Workers: 1, Precision: prec})
+		before := eng.Counter().Snapshot()
+		empty := tensor.New(0, 16)
+		if _, err := eng.ForwardBackward(empty, nil); !errors.Is(err, tengine.ErrEmptyBatch) {
+			t.Fatalf("%v: ForwardBackward(empty) err = %v, want ErrEmptyBatch", prec, err)
+		}
+		if _, err := eng.ForwardBackwardSoft(empty, tensor.New(0, 6)); !errors.Is(err, tengine.ErrEmptyBatch) {
+			t.Fatalf("%v: ForwardBackwardSoft(empty) err = %v, want ErrEmptyBatch", prec, err)
+		}
+		if after := eng.Counter().Snapshot(); after != before {
+			t.Fatalf("%v: empty batch charged the hardware counter", prec)
+		}
+	}
+}
+
+// TestTrainF32GradientsTrackReference: one F32 step's gradients must agree
+// with the f64 reference step's direction and magnitude within the forward
+// error a float32 pipeline admits — a loose elementwise envelope scaled by
+// the gradient's own magnitude, plenty to expose a transposed cache, a
+// missing bias term or a wrong backward kernel (all order-1 relative errors).
+func TestTrainF32GradientsTrackReference(t *testing.T) {
+	build := func() *nn.Network {
+		n := models.MLP(rng.New(21), 16, []int{24, 16}, 6)
+		n.SetTraining(true)
+		return n
+	}
+	refNet, f32Net := build(), build()
+	ref := tengine.MustCompile(refNet, tengine.Options{Workers: 1, InputGrad: true})
+	fast := tengine.MustCompile(f32Net, tengine.Options{Workers: 1, InputGrad: true, Precision: tensor.F32})
+	if fast.Precision() != tensor.F32 {
+		t.Fatal("Precision() does not report the compiled tier")
+	}
+
+	x := tensor.RandUniform(rng.New(22), 0, 1, 8, 16)
+	labels := []int{0, 1, 2, 3, 4, 5, 0, 1}
+	wantLoss, err := ref.ForwardBackward(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLoss, err := fast.ForwardBackward(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotLoss-wantLoss) > 1e-4*(1+math.Abs(wantLoss)) {
+		t.Fatalf("f32 loss %v too far from reference %v", gotLoss, wantLoss)
+	}
+
+	checkClose := func(name string, got, want *tensor.Tensor) {
+		t.Helper()
+		gd, wd := got.Data(), want.Data()
+		scale := 1e-9
+		for _, v := range wd {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for i := range wd {
+			if e := math.Abs(gd[i] - wd[i]); e > 1e-4*scale {
+				t.Fatalf("%s elem %d: |%g − %g| exceeds 1e-4·%g", name, i, gd[i], wd[i], scale)
+			}
+		}
+	}
+	rp, fp := refNet.Params(), f32Net.Params()
+	for i := range rp {
+		checkClose(rp[i].Name, fp[i].Grad, rp[i].Grad)
+	}
+	checkClose("logits", fast.Logits(), ref.Logits())
+	checkClose("input-grad", fast.InputGrad(), ref.InputGrad())
+}
+
+// TestTrainF32Converges: the tier must actually train — SGD on the f64
+// masters with f32-computed gradients drives the loss down on a toy problem.
+func TestTrainF32Converges(t *testing.T) {
+	net := models.MLP(rng.New(31), 8, []int{16}, 4)
+	net.SetTraining(true)
+	eng := tengine.MustCompile(net, tengine.Options{Workers: 1, Precision: tensor.F32, MaxBatch: 32})
+	sgd := opt.NewSGD(net.Params(), 0.1, 0.9, 0)
+	r := rng.New(32)
+	x := tensor.RandUniform(r, 0, 1, 32, 8)
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	first, err := eng.ForwardBackward(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgd.StepAndZero()
+	var last float64
+	for i := 0; i < 60; i++ {
+		last, err = eng.ForwardBackward(x, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sgd.StepAndZero()
+	}
+	if !(last < first/2) {
+		t.Fatalf("f32 training did not converge: first loss %v, last %v", first, last)
+	}
+}
+
+// TestTrainF32AllocFree: steady-state F32 steps allocate nothing.
+func TestTrainF32AllocFree(t *testing.T) {
+	net := models.MLP(rng.New(41), 16, []int{24, 16}, 6)
+	net.SetTraining(true)
+	eng := tengine.MustCompile(net, tengine.Options{Workers: 1, Precision: tensor.F32, MaxBatch: 16})
+	x := tensor.RandUniform(rng.New(42), 0, 1, 16, 16)
+	labels := make([]int, 16)
+	eng.ForwardBackward(x, labels) // warmup
+	if a := testing.AllocsPerRun(20, func() { eng.ForwardBackward(x, labels) }); a != 0 {
+		t.Fatalf("f32 step allocates %v/op in steady state, want 0", a)
+	}
+}
+
+// TestTrainPrecisionCompileErrors: I8 is inference-only and layers outside
+// the dense/ReLU family have no f32 training path — both fail Compile with a
+// diagnostic naming the limitation, never a silent fallback.
+func TestTrainPrecisionCompileErrors(t *testing.T) {
+	mlp := models.MLP(rng.New(5), 16, []int{24}, 6)
+	if _, err := tengine.Compile(mlp, tengine.Options{Precision: tensor.I8}); err == nil ||
+		!strings.Contains(err.Error(), "inference-only") {
+		t.Fatalf("I8 compile error = %v, want inference-only diagnostic", err)
+	}
+	conv := models.LeNet5(rng.New(6))
+	conv.SetTraining(true)
+	if _, err := tengine.Compile(conv, tengine.Options{Precision: tensor.F32}); err == nil ||
+		!strings.Contains(err.Error(), "float32 training path") {
+		t.Fatalf("conv f32 compile error = %v, want no-f32-path diagnostic", err)
+	}
+}

@@ -116,10 +116,14 @@ func TestForwardBackwardMatchesLegacy(t *testing.T) {
 					}
 					wantLoss, wantLogits, wantGX := legacyStep(legacy, x, labels, target)
 					var gotLoss float64
+					var stepErr error
 					if target != nil {
-						gotLoss = eng.ForwardBackwardSoft(x, target)
+						gotLoss, stepErr = eng.ForwardBackwardSoft(x, target)
 					} else {
-						gotLoss = eng.ForwardBackward(x, labels)
+						gotLoss, stepErr = eng.ForwardBackward(x, labels)
+					}
+					if stepErr != nil {
+						t.Fatalf("n=%d pass=%d: %v", n, pass, stepErr)
 					}
 					if math.Float64bits(wantLoss) != math.Float64bits(gotLoss) {
 						t.Fatalf("n=%d pass=%d: loss %v != legacy %v", n, pass, gotLoss, wantLoss)

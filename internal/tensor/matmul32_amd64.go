@@ -1,0 +1,11 @@
+package tensor
+
+// denseRowsF32 computes dst[j] = dot4(x, wT[j*k:(j+1)*k]) for every j, where
+// dot4 is the documented 4-lane p%4 fold reduced as ((s0+s1)+(s2+s3)). The
+// SSE implementation in matmul32_amd64.s is bit-identical to the pure-Go
+// loop (four vector lanes ARE the four accumulators); it exists because the
+// scalar loop is issue-width bound at ~1 madd/cycle while MULPS/ADDPS retire
+// four lanes per pair. Callers guarantee len(x) == k and len(wT) == len(dst)*k.
+//
+//go:noescape
+func denseRowsF32(dst, x, wT []float32, k int)

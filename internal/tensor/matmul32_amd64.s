@@ -1,0 +1,64 @@
+// SSE implementation of the f32 dot-row kernel. Four MULPS/ADDPS lanes are
+// exactly the documented DotF32 fold — products at p%4 land in lane p%4,
+// quads accumulate in ascending p, the tail runs scalar into lane 0 after
+// the quads, and the reduction is ((s0+s1)+(s2+s3)) — so this produces
+// bit-identical results to the pure-Go loop in matmul32_noasm.go on every
+// input, including NaN/Inf (IEEE per-op semantics are the same). SSE is part
+// of the amd64 baseline, so there is no CPUID gate.
+
+#include "textflag.h"
+
+// func denseRowsF32(dst, x, wT []float32, k int)
+// For each j in [0, len(dst)): dst[j] = dot4(x, wT[j*k:(j+1)*k]).
+// The caller guarantees len(x) == k and len(wT) == len(dst)*k.
+TEXT ·denseRowsF32(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), BX
+	MOVQ dst_len+8(FP), R8  // n = remaining output count
+	MOVQ x_base+24(FP), SI
+	MOVQ wT_base+48(FP), DI
+	MOVQ k+72(FP), CX
+
+	TESTQ R8, R8
+	JZ   done
+jloop:
+	MOVQ  SI, R9  // x cursor
+	MOVQ  DI, R10 // weight-row cursor
+	MOVQ  CX, DX
+	XORPS X0, X0  // four accumulator lanes
+	SHRQ  $2, DX  // quad count
+	JZ    tail
+qloop:
+	MOVUPS (R9), X1
+	MOVUPS (R10), X2
+	MULPS  X2, X1
+	ADDPS  X1, X0
+	ADDQ   $16, R9
+	ADDQ   $16, R10
+	DECQ   DX
+	JNZ    qloop
+tail:
+	MOVQ CX, DX
+	ANDQ $3, DX
+	JZ   reduce
+tloop:
+	MOVSS (R9), X1
+	MULSS (R10), X1
+	ADDSS X1, X0 // tail folds into lane 0, after the quads — same as the Go loop
+	ADDQ  $4, R9
+	ADDQ  $4, R10
+	DECQ  DX
+	JNZ   tloop
+reduce:
+	MOVAPS X0, X1
+	SHUFPS $0xB1, X1, X1 // [s1, s0, s3, s2]
+	ADDPS  X1, X0        // lane0 = s0+s1, lane2 = s2+s3
+	MOVAPS X0, X1
+	SHUFPS $0x4E, X1, X1 // lane0 = s2+s3
+	ADDSS  X1, X0        // lane0 = (s0+s1)+(s2+s3)
+	MOVSS  X0, (BX)
+	ADDQ   $4, BX
+	LEAQ   (DI)(CX*4), DI // next weight row
+	DECQ   R8
+	JNZ    jloop
+done:
+	RET

@@ -1,0 +1,26 @@
+//go:build !amd64
+
+package tensor
+
+// denseRowsF32 computes dst[j] = dot4(x, wT[j*k:(j+1)*k]) for every j, where
+// dot4 is the documented 4-lane p%4 fold reduced as ((s0+s1)+(s2+s3)): the
+// portable mirror of the SSE kernel in matmul32_amd64.s, bit-identical on
+// every input. Callers guarantee len(x) == k and len(wT) == len(dst)*k.
+func denseRowsF32(dst, x, wT []float32, k int) {
+	for j := range dst {
+		wr := wT[j*k : (j+1)*k]
+		wr = wr[:len(x)]
+		var s0, s1, s2, s3 float32
+		p := 0
+		for ; p+3 < len(x); p += 4 {
+			s0 += x[p] * wr[p]
+			s1 += x[p+1] * wr[p+1]
+			s2 += x[p+2] * wr[p+2]
+			s3 += x[p+3] * wr[p+3]
+		}
+		for ; p < len(x); p++ {
+			s0 += x[p] * wr[p]
+		}
+		dst[j] = (s0 + s1) + (s2 + s3)
+	}
+}

@@ -1,0 +1,129 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Precision selects the numeric tier a compiled plan computes in. The zero
+// value is F64, the scalar float64 reference arm — every existing caller that
+// never mentions a precision keeps exactly the bits it had. The fast tiers are
+// opt-in: F32 runs the 4-wide unrolled float32 kernels (bounded-ULP versus the
+// reference), I8 runs the int8×int8→int32 quantized kernels that mirror the
+// DAC/ADC resolution `internal/reram` models (exact versus a model-level
+// quantize-then-f64 oracle).
+type Precision uint8
+
+const (
+	// F64 is the scalar float64 reference tier: bit-identical to the legacy
+	// per-sample path, and the arm every fast tier is gated against.
+	F64 Precision = iota
+	// F32 is the float32 fast tier: dot-product-form kernels with four
+	// independent accumulators and fused bias/activation, accepted only
+	// within a documented ULP envelope of the F64 reference.
+	F32
+	// I8 is the quantized tier: per-row affine int8 activations against
+	// per-column int8 weights accumulated in int32, dequantized in float64.
+	// It mirrors the 8-bit DAC/ADC converters of the reram model and must be
+	// exactly equal to quantizing in the model domain and computing in f64.
+	I8
+)
+
+// String returns the canonical lower-case tier name used in flags, /statsz
+// and benchmark artifacts.
+func (p Precision) String() string {
+	switch p {
+	case F64:
+		return "f64"
+	case F32:
+		return "f32"
+	case I8:
+		return "i8"
+	default:
+		return fmt.Sprintf("precision(%d)", uint8(p))
+	}
+}
+
+// ParsePrecision maps a tier name ("f64", "f32", "i8") back to its Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "":
+		return F64, nil
+	case "f32":
+		return F32, nil
+	case "i8":
+		return I8, nil
+	default:
+		return F64, fmt.Errorf("tensor: unknown precision %q (want f64, f32 or i8)", s)
+	}
+}
+
+// ConvertF64ToF32 narrows src into dst element-wise. Lengths must match.
+func ConvertF64ToF32(dst []float32, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: ConvertF64ToF32 length mismatch dst=%d src=%d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// ConvertF32ToF64 widens src into dst element-wise. Lengths must match.
+func ConvertF32ToF64(dst []float64, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: ConvertF32ToF64 length mismatch dst=%d src=%d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+
+// ULPDistF32 returns the distance in float32 representation steps between two
+// finite float32 values (0 when bitwise equal, 1 for adjacent floats, …).
+// Values of opposite sign are measured through zero. NaN anywhere returns
+// MaxInt64-ish large; callers gate on a bound so "huge" is all that matters.
+func ULPDistF32(a, b float32) int64 {
+	if a == b {
+		return 0 // covers +0 == -0
+	}
+	if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+		return math.MaxInt64
+	}
+	ia := orderedBitsF32(a)
+	ib := orderedBitsF32(b)
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// orderedBitsF32 maps float32 bit patterns onto a monotone integer line so
+// subtracting two images counts the representable floats between them:
+// negative floats map to the negated magnitude bits, positive floats to the
+// raw bits, which makes the line strictly increasing in float order.
+func orderedBitsF32(f float32) int64 {
+	b := int64(math.Float32bits(f))
+	if b&0x80000000 != 0 {
+		return -(b & 0x7fffffff)
+	}
+	return b
+}
+
+// MaxULPDistF32 returns the largest ULP distance between got[i] and the
+// nearest float32 to want[i]. It is the measurement half of the F32 gate
+// contract: the fast tier must stay within a documented ULP envelope of the
+// f64 reference after that reference is itself rounded to float32 (the
+// rounding is not the kernel's error to answer for).
+func MaxULPDistF32(got []float32, want []float64) int64 {
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("tensor: MaxULPDistF32 length mismatch got=%d want=%d", len(got), len(want)))
+	}
+	var max int64
+	for i, g := range got {
+		if d := ULPDistF32(g, float32(want[i])); d > max {
+			max = d
+		}
+	}
+	return max
+}

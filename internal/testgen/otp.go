@@ -90,10 +90,10 @@ func GenerateOTP(clean, faulty *nn.Network, classes int, cfg OTPConfig, r *rng.R
 
 	res := OTPResult{CleanStd: make([]float64, m), FaultL1: make([]float64, m)}
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
-		// term 1: clean model vs uniform soft labels
-		loss1 := ce.ForwardBackwardSoft(x, soft)
+		// term 1: clean model vs uniform soft labels (m > 0: never empty)
+		loss1, _ := ce.ForwardBackwardSoft(x, soft)
 		// term 2: fault model vs hard labels
-		loss2 := fe.ForwardBackwardSoft(x, hard)
+		loss2, _ := fe.ForwardBackwardSoft(x, hard)
 
 		// combined Eq. 1 gradient step, projected back into the pixel box
 		xd, d1, d2 := x.Data(), ce.InputGrad().Data(), fe.InputGrad().Data()
